@@ -1,0 +1,314 @@
+//! Block partitions for the lower-bound constructions.
+//!
+//! §5 partitions the servers into `R + 2` blocks of size ≤ `t`; §6.2 into
+//! `T_1..T_{R+2}` (size ≤ `t`) and `B_1..B_{R+1}` (size ≤ `b`). The
+//! partitions exist exactly in the infeasible regimes — that existence *is*
+//! the feasibility frontier.
+//!
+//! The proof's predicate arithmetic is most comfortable when the
+//! "surviving" blocks (`B_{R+1}` in §5; `T_{R+1}` and `B_{R+1}` in §6.2)
+//! are as large as possible, so the builders hand out remainder capacity
+//! to those blocks first.
+
+use fastreg::config::ClusterConfig;
+
+use crate::LbError;
+
+/// The §5 partition: blocks `B_1..B_{R+2}` of server indices (0-based:
+/// `blocks[i]` is the paper's `B_{i+1}`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BlockPlan {
+    /// `blocks[i]` = server indices of `B_{i+1}`; every block non-empty,
+    /// sizes ≤ `t`, exact cover of `0..S`.
+    pub blocks: Vec<Vec<u32>>,
+}
+
+impl BlockPlan {
+    /// The paper's `B_{k}` (1-based).
+    pub fn b(&self, k: u32) -> &[u32] {
+        &self.blocks[(k - 1) as usize]
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` if there are no blocks (never happens for valid
+    /// plans).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+}
+
+/// Builds the §5 partition for an infeasible crash-stop configuration.
+///
+/// # Errors
+///
+/// * [`LbError::ConfigIsFeasible`] when `S > (R+2)·t` — the partition
+///   cannot exist (blocks of size ≤ t cannot cover S servers), which is
+///   the feasible regime.
+/// * [`LbError::NeedTwoReaders`] / [`LbError::NeedFaults`] per
+///   Proposition 5's hypotheses.
+/// * [`LbError::NoPartition`] when `S < R + 2` (cannot form non-empty
+///   blocks; the paper handles this by shrinking the reader set — callers
+///   should pick `R ≤ S − 2`).
+pub fn crash_blocks(cfg: &ClusterConfig) -> Result<BlockPlan, LbError> {
+    if cfg.t < 1 {
+        return Err(LbError::NeedFaults);
+    }
+    if cfg.r < 2 {
+        return Err(LbError::NeedTwoReaders);
+    }
+    if cfg.fast_feasible() {
+        return Err(LbError::ConfigIsFeasible);
+    }
+    let n_blocks = cfg.r + 2;
+    if cfg.s < n_blocks {
+        return Err(LbError::NoPartition);
+    }
+    // Base size 1 each; hand out the remaining S − (R+2) servers, at most
+    // t−1 extra per block, starting with B_{R+1} (index R), then B_{R+2},
+    // then the rest.
+    let mut sizes = vec![1u32; n_blocks as usize];
+    let mut remaining = cfg.s - n_blocks;
+    let order: Vec<usize> = std::iter::once(n_blocks as usize - 2)
+        .chain(std::iter::once(n_blocks as usize - 1))
+        .chain(0..(n_blocks as usize - 2))
+        .collect();
+    for &i in order.iter().cycle() {
+        if remaining == 0 {
+            break;
+        }
+        if sizes[i] < cfg.t {
+            sizes[i] += 1;
+            remaining -= 1;
+        } else if order.iter().all(|&j| sizes[j] >= cfg.t) {
+            // Full everywhere yet servers remain: infeasible regime check
+            // above should have prevented this.
+            return Err(LbError::NoPartition);
+        }
+    }
+    let mut blocks = Vec::with_capacity(n_blocks as usize);
+    let mut next = 0u32;
+    for &size in &sizes {
+        blocks.push((next..next + size).collect());
+        next += size;
+    }
+    debug_assert_eq!(next, cfg.s);
+    Ok(BlockPlan { blocks })
+}
+
+/// The §6.2 partition: `T_1..T_{R+2}` (size ≤ t) and `B_1..B_{R+1}`
+/// (size ≤ b).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ByzBlockPlan {
+    /// `t_blocks[i]` = the paper's `T_{i+1}`.
+    pub t_blocks: Vec<Vec<u32>>,
+    /// `b_blocks[i]` = the paper's `B_{i+1}`. May contain empty blocks
+    /// only if `b` capacity is not needed — the builder keeps them
+    /// non-empty whenever possible and `B_{R+1}` always non-empty.
+    pub b_blocks: Vec<Vec<u32>>,
+}
+
+impl ByzBlockPlan {
+    /// The paper's `T_k` (1-based).
+    pub fn t(&self, k: u32) -> &[u32] {
+        &self.t_blocks[(k - 1) as usize]
+    }
+
+    /// The paper's `B_k` (1-based).
+    pub fn b(&self, k: u32) -> &[u32] {
+        &self.b_blocks[(k - 1) as usize]
+    }
+}
+
+/// Builds the §6.2 partition for an infeasible Byzantine configuration.
+///
+/// # Errors
+///
+/// Analogous to [`crash_blocks`], plus [`LbError::NeedByzantine`] when
+/// `b = 0`.
+pub fn byz_blocks(cfg: &ClusterConfig) -> Result<ByzBlockPlan, LbError> {
+    if cfg.t < 1 {
+        return Err(LbError::NeedFaults);
+    }
+    if cfg.b < 1 {
+        return Err(LbError::NeedByzantine);
+    }
+    if cfg.r < 2 {
+        return Err(LbError::NeedTwoReaders);
+    }
+    if cfg.fast_feasible() {
+        return Err(LbError::ConfigIsFeasible);
+    }
+    let nt = (cfg.r + 2) as usize;
+    let nb = (cfg.r + 1) as usize;
+    // Every T block and B_{R+1} must be non-empty; other B blocks should
+    // be non-empty when servers suffice.
+    if (cfg.s as usize) < nt + 1 {
+        return Err(LbError::NoPartition);
+    }
+    let mut t_sizes = vec![1u32; nt];
+    let mut b_sizes = vec![0u32; nb];
+    b_sizes[nb - 1] = 1; // B_{R+1}
+    let mut remaining = cfg.s - (nt as u32) - 1;
+    // Fill order: T_{R+1} to t, B_{R+1} to b, remaining B blocks to 1 then
+    // b, remaining T blocks to t.
+    'outer: loop {
+        let mut progressed = false;
+        if remaining == 0 {
+            break;
+        }
+        if t_sizes[nt - 2] < cfg.t {
+            t_sizes[nt - 2] += 1;
+            remaining -= 1;
+            progressed = true;
+            if remaining == 0 {
+                break;
+            }
+        }
+        if b_sizes[nb - 1] < cfg.b {
+            b_sizes[nb - 1] += 1;
+            remaining -= 1;
+            progressed = true;
+            if remaining == 0 {
+                break;
+            }
+        }
+        for size in b_sizes.iter_mut().take(nb - 1) {
+            if *size < cfg.b {
+                *size += 1;
+                remaining -= 1;
+                progressed = true;
+                if remaining == 0 {
+                    break 'outer;
+                }
+            }
+        }
+        for i in (0..nt).filter(|&i| i != nt - 2) {
+            if t_sizes[i] < cfg.t {
+                t_sizes[i] += 1;
+                remaining -= 1;
+                progressed = true;
+                if remaining == 0 {
+                    break 'outer;
+                }
+            }
+        }
+        if !progressed {
+            return Err(LbError::NoPartition);
+        }
+    }
+    let mut next = 0u32;
+    let mut take = |size: u32| -> Vec<u32> {
+        let v: Vec<u32> = (next..next + size).collect();
+        next += size;
+        v
+    };
+    let t_blocks: Vec<Vec<u32>> = t_sizes.iter().map(|&s| take(s)).collect();
+    let b_blocks: Vec<Vec<u32>> = b_sizes.iter().map(|&s| take(s)).collect();
+    debug_assert_eq!(next, cfg.s);
+    Ok(ByzBlockPlan { t_blocks, b_blocks })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_crash_instance() {
+        // S = 5, t = 1, R = 3: five singleton blocks.
+        let cfg = ClusterConfig::crash_stop(5, 1, 3).unwrap();
+        let plan = crash_blocks(&cfg).unwrap();
+        assert_eq!(plan.len(), 5);
+        assert!(plan.blocks.iter().all(|b| b.len() == 1));
+        let all: Vec<u32> = plan.blocks.iter().flatten().copied().collect();
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn feasible_config_has_no_partition() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        assert_eq!(crash_blocks(&cfg), Err(LbError::ConfigIsFeasible));
+    }
+
+    #[test]
+    fn uneven_crash_partition_respects_t() {
+        // S = 7, t = 2, R = 2: 4 blocks, sizes ≤ 2, B3 maximized.
+        let cfg = ClusterConfig::crash_stop(7, 2, 2).unwrap();
+        assert!(!cfg.fast_feasible());
+        let plan = crash_blocks(&cfg).unwrap();
+        assert_eq!(plan.len(), 4);
+        assert!(plan.blocks.iter().all(|b| !b.is_empty() && b.len() <= 2));
+        assert_eq!(plan.blocks.iter().map(Vec::len).sum::<usize>(), 7);
+        // B_{R+1} = B3 got an extra first.
+        assert_eq!(plan.b(3).len(), 2);
+    }
+
+    #[test]
+    fn hypotheses_are_enforced() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 1).unwrap();
+        assert_eq!(crash_blocks(&cfg), Err(LbError::NeedTwoReaders));
+        let cfg = ClusterConfig::crash_stop(5, 0, 3).unwrap();
+        assert_eq!(crash_blocks(&cfg), Err(LbError::NeedFaults));
+    }
+
+    #[test]
+    fn too_few_servers_for_blocks() {
+        // S = 3, t = 1, R = 3: infeasible (3 <= 5t) but only 3 servers for
+        // 5 blocks.
+        let cfg = ClusterConfig::crash_stop(3, 1, 3).unwrap();
+        assert_eq!(crash_blocks(&cfg), Err(LbError::NoPartition));
+    }
+
+    #[test]
+    fn canonical_byz_instance() {
+        // S = 7, t = 1, b = 1, R = 2: T1..T4 and B1..B3, all singletons.
+        let cfg = ClusterConfig::byzantine(7, 1, 1, 2).unwrap();
+        assert!(!cfg.fast_feasible());
+        let plan = byz_blocks(&cfg).unwrap();
+        assert_eq!(plan.t_blocks.len(), 4);
+        assert_eq!(plan.b_blocks.len(), 3);
+        let total: usize = plan
+            .t_blocks
+            .iter()
+            .chain(plan.b_blocks.iter())
+            .map(Vec::len)
+            .sum();
+        assert_eq!(total, 7);
+        assert!(plan.t_blocks.iter().all(|b| b.len() == 1));
+        assert!(!plan.b(3).is_empty());
+    }
+
+    #[test]
+    fn byz_feasible_is_rejected() {
+        let cfg = ClusterConfig::byzantine(8, 1, 1, 2).unwrap();
+        assert!(cfg.fast_feasible());
+        assert_eq!(byz_blocks(&cfg), Err(LbError::ConfigIsFeasible));
+    }
+
+    #[test]
+    fn byz_requires_b() {
+        let cfg = ClusterConfig::byzantine(5, 1, 0, 3).unwrap();
+        assert_eq!(byz_blocks(&cfg), Err(LbError::NeedByzantine));
+    }
+
+    #[test]
+    fn byz_partition_is_exact_cover() {
+        let cfg = ClusterConfig::byzantine(10, 2, 1, 2).unwrap();
+        assert!(!cfg.fast_feasible());
+        let plan = byz_blocks(&cfg).unwrap();
+        let mut all: Vec<u32> = plan
+            .t_blocks
+            .iter()
+            .chain(plan.b_blocks.iter())
+            .flatten()
+            .copied()
+            .collect();
+        all.sort();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+        assert!(plan.t_blocks.iter().all(|b| b.len() as u32 <= cfg.t));
+        assert!(plan.b_blocks.iter().all(|b| b.len() as u32 <= cfg.b));
+    }
+}

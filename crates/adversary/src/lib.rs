@@ -1,0 +1,79 @@
+//! # fastreg-adversary
+//!
+//! The lower-bound proofs of *How Fast can a Distributed Atomic Read be?*
+//! executed as scripted adversarial schedules against the real protocol
+//! implementations.
+//!
+//! The paper proves three impossibility results by constructing partial
+//! runs that force any fast implementation into an atomicity violation:
+//!
+//! * **§5 (crash-stop)**: if `R ≥ S/t − 2`, the chain of partial runs
+//!   `wr_i → pr_i → Δpr_i → prA/prB → prC/prD` (Figs. 1, 3, 4) ends in
+//!   `prC`, where reader `r_R` returns the written value `1` and a
+//!   *subsequent* read by `r_1` returns `⊥` — a new/old inversion.
+//!   [`crash_lb`] materializes `prC` against the actual Fig. 2
+//!   implementation and lets the mechanical checker exhibit the violation.
+//! * **§6.2 (arbitrary failures)**: same shape with block partition
+//!   `T_1..T_{R+2}, B_1..B_{R+1}` (Fig. 6) and a *two-faced memory-losing*
+//!   Byzantine block `B_{R+1}`. [`byz_lb`] materializes it.
+//! * **§7 (multi-writer)**: no fast MWMR register exists even with
+//!   `t = 1`. [`mwmr_lb`] drives the plausible one-round MWMR protocol
+//!   through the §7 run constructions and exhibits the violation.
+//!
+//! On the feasible side of each bound, the constructions are impossible to
+//! set up (the block partition does not exist) and [`search`]'s randomized
+//! adversarial schedules find no violation — together the two directions
+//! trace the paper's exact feasibility frontier (experiment E8).
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod blocks;
+pub mod byz_lb;
+pub mod explore;
+pub mod crash_lb;
+pub mod mwmr_lb;
+pub mod search;
+
+pub use ablation::{refute_count_predicate, AblationOutcome};
+pub use blocks::{byz_blocks, crash_blocks, BlockPlan, ByzBlockPlan};
+pub use byz_lb::{run_byz_lb, ByzLbOutcome};
+pub use explore::{explore_fast_crash, ExploreOutcome, OpScript};
+pub use crash_lb::{run_crash_lb, CrashLbOutcome};
+pub use mwmr_lb::{run_mwmr_lb, MwmrLbOutcome};
+pub use search::{random_adversarial_search, SearchOutcome};
+
+/// Errors common to the lower-bound constructions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LbError {
+    /// The configuration is fast-feasible: the paper proves the
+    /// construction cannot exist there, and indeed the block partition
+    /// required by the proof does not exist.
+    ConfigIsFeasible,
+    /// The proof requires at least two readers (`R ≥ 2`).
+    NeedTwoReaders,
+    /// The proof requires at least one tolerated fault (`t ≥ 1`).
+    NeedFaults,
+    /// The Byzantine construction requires `b ≥ 1` (use the crash
+    /// construction otherwise).
+    NeedByzantine,
+    /// The block partition could not be formed (e.g. `S < R + 2`: fewer
+    /// servers than blocks).
+    NoPartition,
+}
+
+impl std::fmt::Display for LbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LbError::ConfigIsFeasible => {
+                write!(f, "configuration is fast-feasible; the lower-bound construction does not apply")
+            }
+            LbError::NeedTwoReaders => write!(f, "the construction needs R >= 2"),
+            LbError::NeedFaults => write!(f, "the construction needs t >= 1"),
+            LbError::NeedByzantine => write!(f, "the Byzantine construction needs b >= 1"),
+            LbError::NoPartition => write!(f, "no valid block partition exists"),
+        }
+    }
+}
+
+impl std::error::Error for LbError {}

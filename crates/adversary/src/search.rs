@@ -1,0 +1,178 @@
+//! Randomized adversarial schedule search.
+//!
+//! The scripted constructions show violations exist *beyond* the bound.
+//! This module probes the other side: on fast-feasible configurations it
+//! hammers the Fig. 2 implementation with randomized adversarial
+//! schedules — random interleavings, withheld messages, server crashes,
+//! writer crashes mid-broadcast — and checks every resulting history.
+//! Finding nothing is the experimental complement of the correctness
+//! proof (E8 uses both directions to trace the feasibility frontier).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fastreg::config::ClusterConfig;
+use fastreg::harness::{Cluster, FastCrash};
+use fastreg::protocols::fast_crash::{Reader, Writer};
+use fastreg_atomicity::swmr::check_swmr_atomicity;
+
+/// The result of a randomized search.
+#[derive(Clone, Debug)]
+pub struct SearchOutcome {
+    /// Number of runs executed.
+    pub runs: u64,
+    /// Number of runs whose history violated atomicity.
+    pub violations: u64,
+    /// For the first violating run, the seed and the rendered history.
+    pub first_violation: Option<(u64, String)>,
+}
+
+impl SearchOutcome {
+    /// Returns `true` if no violation was found.
+    pub fn is_clean(&self) -> bool {
+        self.violations == 0
+    }
+}
+
+/// Runs `n_runs` randomized adversarial schedules against the Fig. 2
+/// implementation on `cfg`, with roughly `ops_per_run` operations per run.
+///
+/// Each run interleaves, for a random number of rounds:
+///
+/// * invoking a write or a read at a random *idle* client,
+/// * delivering a random subset of in-transit messages (leaving the rest
+///   "in transit" indefinitely, as the model allows),
+/// * crashing up to `t` servers, and possibly the writer mid-broadcast,
+///
+/// then drains the network and checks the history.
+pub fn random_adversarial_search(
+    cfg: ClusterConfig,
+    base_seed: u64,
+    n_runs: u64,
+    ops_per_run: u32,
+) -> SearchOutcome {
+    let mut violations = 0;
+    let mut first_violation = None;
+    for run in 0..n_runs {
+        let seed = base_seed.wrapping_add(run);
+        let history = one_run(cfg, seed, ops_per_run);
+        if let Err(e) = check_swmr_atomicity(&history) {
+            violations += 1;
+            if first_violation.is_none() {
+                first_violation = Some((seed, format!("{e}\n{}", history.render())));
+            }
+        }
+    }
+    SearchOutcome {
+        runs: n_runs,
+        violations,
+        first_violation,
+    }
+}
+
+fn one_run(cfg: ClusterConfig, seed: u64, ops: u32) -> fastreg_atomicity::history::History {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xadd0_75a7);
+    let mut c: Cluster<FastCrash> = Cluster::new(cfg, seed);
+    let layout = c.layout;
+    let mut crashes_left = cfg.t;
+    let mut writer_crashed = false;
+    let mut next_value = 1u64;
+    let mut issued = 0u32;
+
+    while issued < ops {
+        match rng.gen_range(0..10u32) {
+            // Invoke a write if the writer is idle.
+            0..=2 => {
+                if writer_crashed {
+                    continue;
+                }
+                let idle = c
+                    .world
+                    .with_actor::<Writer, _, _>(layout.writer(0), |w| w.is_idle())
+                    .unwrap_or(false);
+                if idle {
+                    // Occasionally crash the writer mid-broadcast.
+                    if crashes_left > 0 && rng.gen_bool(0.1) {
+                        let k = rng.gen_range(0..=cfg.s as usize);
+                        c.world.arm_crash_after_sends(layout.writer(0), k);
+                        writer_crashed = true;
+                        // A writer crash does not consume a server crash
+                        // budget; track separately but keep it simple: the
+                        // model allows any number of client crashes.
+                    }
+                    c.write(next_value);
+                    next_value += 1;
+                    issued += 1;
+                }
+            }
+            // Invoke a read at a random idle reader.
+            3..=6 => {
+                let i = rng.gen_range(0..cfg.r);
+                let idle = c
+                    .world
+                    .with_actor::<Reader, _, _>(layout.reader(i), |r| r.is_idle())
+                    .unwrap_or(false);
+                if idle {
+                    c.read_async(i);
+                    issued += 1;
+                }
+            }
+            // Deliver a burst of random messages.
+            7..=8 => {
+                let burst = rng.gen_range(1..=8);
+                for _ in 0..burst {
+                    if !c.world.step_random() {
+                        break;
+                    }
+                }
+            }
+            // Crash a random live server (within the budget).
+            _ => {
+                if crashes_left > 0 && rng.gen_bool(0.3) {
+                    let j = rng.gen_range(0..cfg.s);
+                    let addr = layout.server(j);
+                    if !c.world.is_crashed(addr) {
+                        c.world.crash(addr);
+                        crashes_left -= 1;
+                    }
+                }
+            }
+        }
+        // Keep some background delivery going so ops eventually finish.
+        if rng.gen_bool(0.5) {
+            c.world.step_random();
+        }
+    }
+    // Drain: every op that can complete, completes.
+    c.world.run_random_until_quiescent();
+    c.snapshot()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn feasible_configs_survive_the_search() {
+        for (s, t, r) in [(5u32, 1u32, 2u32), (4, 1, 1), (7, 1, 4), (10, 2, 2)] {
+            let cfg = ClusterConfig::crash_stop(s, t, r).unwrap();
+            assert!(cfg.fast_feasible());
+            let out = random_adversarial_search(cfg, 7, 40, 8);
+            assert!(
+                out.is_clean(),
+                "({s},{t},{r}) violated atomicity:\n{}",
+                out.first_violation.unwrap().1
+            );
+            assert_eq!(out.runs, 40);
+        }
+    }
+
+    #[test]
+    fn search_is_deterministic_per_seed() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let a = random_adversarial_search(cfg, 3, 5, 6);
+        let b = random_adversarial_search(cfg, 3, 5, 6);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.runs, b.runs);
+    }
+}

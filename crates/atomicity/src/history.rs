@@ -1,0 +1,391 @@
+//! Operation histories.
+//!
+//! A history is the sequence of invocation and response events of read and
+//! write operations, in run order (§3 of the paper). Clients record into a
+//! [`History`] (usually through the thread-safe [`SharedHistory`] handle)
+//! while a run executes; checkers consume it afterwards.
+
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// Ticks of the run clock (virtual or wall-clock microseconds).
+pub type Tick = u64;
+
+/// A register value: the initial `⊥` or a written value.
+///
+/// The paper fixes the initial value to a special `⊥` that is not a valid
+/// input of any write; modelling it as a distinct variant keeps that
+/// distinction type-level.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegValue {
+    /// The initial value `⊥`.
+    Bottom,
+    /// A written value.
+    Val(u64),
+}
+
+impl fmt::Debug for RegValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegValue::Bottom => write!(f, "⊥"),
+            RegValue::Val(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for RegValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<u64> for RegValue {
+    fn from(v: u64) -> Self {
+        RegValue::Val(v)
+    }
+}
+
+/// What an operation does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// `write(v)`.
+    Write {
+        /// The value being written.
+        value: u64,
+    },
+    /// `read()`.
+    Read,
+}
+
+/// Identifies an operation within one history.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub usize);
+
+impl fmt::Debug for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// One read or write operation with its interval and outcome.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Operation {
+    /// The operation's id within the history.
+    pub id: OpId,
+    /// The invoking client (abstract process number; the recording layer
+    /// decides the numbering).
+    pub proc: u32,
+    /// Read or write.
+    pub kind: OpKind,
+    /// When the operation was invoked.
+    pub invoked_at: Tick,
+    /// When it responded; `None` while pending / if it never completed.
+    pub responded_at: Option<Tick>,
+    /// For completed reads: the value returned.
+    pub returned: Option<RegValue>,
+}
+
+impl Operation {
+    /// Returns `true` if the operation completed.
+    pub fn is_complete(&self) -> bool {
+        self.responded_at.is_some()
+    }
+
+    /// Returns `true` if `self` precedes `other`: `self`'s response is
+    /// before `other`'s invocation (§3.1).
+    pub fn precedes(&self, other: &Operation) -> bool {
+        match self.responded_at {
+            Some(r) => r < other.invoked_at,
+            None => false,
+        }
+    }
+
+    /// Returns `true` if the operations are concurrent (neither precedes
+    /// the other).
+    pub fn concurrent_with(&self, other: &Operation) -> bool {
+        !self.precedes(other) && !other.precedes(self)
+    }
+
+    /// The written value, if this is a write.
+    pub fn write_value(&self) -> Option<u64> {
+        match self.kind {
+            OpKind::Write { value } => Some(value),
+            OpKind::Read => None,
+        }
+    }
+}
+
+/// A recorded history of operations, in invocation order.
+///
+/// See the crate-level example for typical use.
+#[derive(Clone, Debug, Default)]
+pub struct History {
+    ops: Vec<Operation>,
+}
+
+impl History {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        History { ops: Vec::new() }
+    }
+
+    /// Records the invocation of `write(value)` by `proc` at `at`.
+    pub fn invoke_write(&mut self, proc: u32, value: u64, at: Tick) -> OpId {
+        self.invoke(proc, OpKind::Write { value }, at)
+    }
+
+    /// Records the invocation of `read()` by `proc` at `at`.
+    pub fn invoke_read(&mut self, proc: u32, at: Tick) -> OpId {
+        self.invoke(proc, OpKind::Read, at)
+    }
+
+    /// Records an invocation.
+    pub fn invoke(&mut self, proc: u32, kind: OpKind, at: Tick) -> OpId {
+        let id = OpId(self.ops.len());
+        self.ops.push(Operation {
+            id,
+            proc,
+            kind,
+            invoked_at: at,
+            responded_at: None,
+            returned: None,
+        });
+        id
+    }
+
+    /// Records the response of `id` at `at`, with `returned` carrying the
+    /// value for reads (`None` for writes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is unknown, the operation already responded, or the
+    /// response time precedes the invocation.
+    pub fn respond(&mut self, id: OpId, returned: Option<RegValue>, at: Tick) {
+        let op = &mut self.ops[id.0];
+        assert!(op.responded_at.is_none(), "double response for {id:?}");
+        assert!(
+            at >= op.invoked_at,
+            "response at {at} precedes invocation at {}",
+            op.invoked_at
+        );
+        op.responded_at = Some(at);
+        op.returned = returned;
+    }
+
+    /// All operations, in invocation order.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Looks up one operation.
+    pub fn get(&self, id: OpId) -> Option<&Operation> {
+        self.ops.get(id.0)
+    }
+
+    /// Number of operations (complete and incomplete).
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` if no operations were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Iterator over completed operations.
+    pub fn complete_ops(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter().filter(|o| o.is_complete())
+    }
+
+    /// Iterator over all writes, in invocation order.
+    pub fn writes(&self) -> impl Iterator<Item = &Operation> {
+        self.ops
+            .iter()
+            .filter(|o| matches!(o.kind, OpKind::Write { .. }))
+    }
+
+    /// Iterator over all reads, in invocation order.
+    pub fn reads(&self) -> impl Iterator<Item = &Operation> {
+        self.ops.iter().filter(|o| matches!(o.kind, OpKind::Read))
+    }
+
+    /// Renders the history one operation per line (for failure reports).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for op in &self.ops {
+            let interval = match op.responded_at {
+                Some(r) => format!("[{}, {}]", op.invoked_at, r),
+                None => format!("[{}, …)", op.invoked_at),
+            };
+            match op.kind {
+                OpKind::Write { value } => {
+                    let _ = writeln!(s, "{:?} p{} write({value}) {interval}", op.id, op.proc);
+                }
+                OpKind::Read => {
+                    let ret = match op.returned {
+                        Some(v) => format!("-> {v}"),
+                        None => "-> ?".to_string(),
+                    };
+                    let _ = writeln!(s, "{:?} p{} read() {ret} {interval}", op.id, op.proc);
+                }
+            }
+        }
+        s
+    }
+}
+
+/// A cloneable, thread-safe handle to a [`History`] under construction.
+///
+/// Client automata (which run on simulator steps or on OS threads) each hold
+/// a clone and record through it.
+#[derive(Clone, Debug, Default)]
+pub struct SharedHistory {
+    inner: Arc<Mutex<History>>,
+}
+
+impl SharedHistory {
+    /// Creates an empty shared history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a `write` invocation.
+    pub fn invoke_write(&self, proc: u32, value: u64, at: Tick) -> OpId {
+        self.inner.lock().invoke_write(proc, value, at)
+    }
+
+    /// Records a `read` invocation.
+    pub fn invoke_read(&self, proc: u32, at: Tick) -> OpId {
+        self.inner.lock().invoke_read(proc, at)
+    }
+
+    /// Records a response.
+    pub fn respond(&self, id: OpId, returned: Option<RegValue>, at: Tick) {
+        self.inner.lock().respond(id, returned, at)
+    }
+
+    /// Takes a snapshot of the history so far.
+    pub fn snapshot(&self) -> History {
+        self.inner.lock().clone()
+    }
+
+    /// Number of completed operations so far (cheap; used by wall-clock
+    /// drivers to wait for completions without cloning the history).
+    pub fn completed_count(&self) -> usize {
+        self.inner.lock().complete_ops().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invoke_respond_roundtrip() {
+        let mut h = History::new();
+        let w = h.invoke_write(0, 5, 1);
+        h.respond(w, None, 3);
+        let r = h.invoke_read(1, 4);
+        h.respond(r, Some(RegValue::Val(5)), 6);
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(w).unwrap().write_value(), Some(5));
+        assert_eq!(h.get(r).unwrap().returned, Some(RegValue::Val(5)));
+        assert_eq!(h.complete_ops().count(), 2);
+    }
+
+    #[test]
+    fn precedes_and_concurrency() {
+        let mut h = History::new();
+        let a = h.invoke_write(0, 1, 0);
+        h.respond(a, None, 5);
+        let b = h.invoke_read(1, 6);
+        h.respond(b, Some(RegValue::Val(1)), 8);
+        let c = h.invoke_read(2, 7);
+        // c is pending.
+        let (a, b, c) = (
+            h.get(a).unwrap().clone(),
+            h.get(b).unwrap().clone(),
+            h.get(c).unwrap().clone(),
+        );
+        assert!(a.precedes(&b));
+        assert!(!b.precedes(&a));
+        assert!(b.concurrent_with(&c));
+        // Pending op never precedes anything.
+        assert!(!c.precedes(&b));
+        assert!(a.precedes(&c));
+    }
+
+    #[test]
+    fn adjacent_intervals_are_concurrent() {
+        // Response at t and invocation at t are concurrent (precedes is
+        // strict <).
+        let mut h = History::new();
+        let a = h.invoke_read(0, 0);
+        h.respond(a, Some(RegValue::Bottom), 5);
+        let b = h.invoke_read(1, 5);
+        h.respond(b, Some(RegValue::Bottom), 6);
+        let (a, b) = (h.get(a).unwrap().clone(), h.get(b).unwrap().clone());
+        assert!(!a.precedes(&b));
+        assert!(a.concurrent_with(&b));
+    }
+
+    #[test]
+    #[should_panic(expected = "double response")]
+    fn double_response_panics() {
+        let mut h = History::new();
+        let r = h.invoke_read(0, 0);
+        h.respond(r, Some(RegValue::Bottom), 1);
+        h.respond(r, Some(RegValue::Bottom), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes invocation")]
+    fn response_before_invocation_panics() {
+        let mut h = History::new();
+        let r = h.invoke_read(0, 10);
+        h.respond(r, Some(RegValue::Bottom), 5);
+    }
+
+    #[test]
+    fn iterators_partition_ops() {
+        let mut h = History::new();
+        h.invoke_write(0, 1, 0);
+        h.invoke_read(1, 1);
+        h.invoke_write(0, 2, 2);
+        assert_eq!(h.writes().count(), 2);
+        assert_eq!(h.reads().count(), 1);
+        assert_eq!(h.complete_ops().count(), 0);
+    }
+
+    #[test]
+    fn shared_history_records_from_clones() {
+        let sh = SharedHistory::new();
+        let sh2 = sh.clone();
+        let w = sh.invoke_write(0, 9, 1);
+        sh2.respond(w, None, 2);
+        let snap = sh.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert!(snap.get(w).unwrap().is_complete());
+    }
+
+    #[test]
+    fn regvalue_display() {
+        assert_eq!(format!("{}", RegValue::Bottom), "⊥");
+        assert_eq!(format!("{}", RegValue::Val(3)), "3");
+        assert_eq!(RegValue::from(3u64), RegValue::Val(3));
+    }
+
+    #[test]
+    fn render_shows_pending_and_complete() {
+        let mut h = History::new();
+        let w = h.invoke_write(0, 5, 1);
+        h.respond(w, None, 2);
+        h.invoke_read(1, 3);
+        let s = h.render();
+        assert!(s.contains("write(5) [1, 2]"));
+        assert!(s.contains("read() -> ? [3, …)"));
+    }
+}

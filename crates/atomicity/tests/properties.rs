@@ -1,0 +1,110 @@
+//! Property-based cross-validation of the checkers.
+//!
+//! The specialized four-condition SWMR checker must agree with the
+//! independent Wing–Gong linearizability oracle on arbitrary single-writer
+//! histories (wherever the SWMR checker's preconditions hold), and the
+//! implication chain atomic ⇒ regular must hold.
+
+use proptest::prelude::*;
+
+use fastreg_atomicity::history::{History, RegValue};
+use fastreg_atomicity::linearizability::check_linearizable;
+use fastreg_atomicity::regularity::check_swmr_regularity;
+use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
+
+/// A generated single-writer history: sequential writes of distinct
+/// values, then reads with arbitrary intervals and returns.
+#[derive(Clone, Debug)]
+struct GenHistory {
+    /// (gap_before, duration, completes) per write.
+    writes: Vec<(u64, u64, bool)>,
+    /// (proc, invoke_at, duration, returned_index) per read; the index is
+    /// reduced modulo (writes + 1), 0 meaning ⊥.
+    reads: Vec<(u32, u64, u64, u64)>,
+}
+
+fn gen_history() -> impl Strategy<Value = GenHistory> {
+    (
+        proptest::collection::vec((0u64..4, 1u64..4, any::<bool>()), 0..4),
+        proptest::collection::vec((1u32..4, 0u64..30, 0u64..6, any::<u64>()), 0..5),
+    )
+        .prop_map(|(writes, reads)| GenHistory { writes, reads })
+}
+
+fn materialize(g: &GenHistory) -> History {
+    let mut h = History::new();
+    let mut t = 0u64;
+    let n = g.writes.len();
+    for (i, &(gap, dur, completes)) in g.writes.iter().enumerate() {
+        t += gap;
+        let id = h.invoke_write(0, (i + 1) as u64, t);
+        t += dur;
+        // Non-final incomplete writes would break the sequential-writer
+        // precondition; only the last write may stay open.
+        if completes || i + 1 < n {
+            h.respond(id, None, t);
+        }
+        t += 1;
+    }
+    for &(proc, inv, dur, ret) in &g.reads {
+        let id = h.invoke_read(proc, inv);
+        let k = if n == 0 { 0 } else { ret % (n as u64 + 1) };
+        let v = if k == 0 {
+            RegValue::Bottom
+        } else {
+            RegValue::Val(k)
+        };
+        h.respond(id, Some(v), inv + dur);
+    }
+    h
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// SWMR checker ≡ linearizability oracle on generated histories.
+    #[test]
+    fn swmr_checker_agrees_with_linearizability(g in gen_history()) {
+        let h = materialize(&g);
+        if h.len() >= 16 {
+            return Ok(());
+        }
+        let lin = check_linearizable(&h).expect("small history");
+        match check_swmr_atomicity(&h) {
+            Ok(()) => prop_assert!(lin, "swmr-atomic but not linearizable:\n{}", h.render()),
+            Err(AtomicityViolation::DuplicateWrittenValue { .. })
+            | Err(AtomicityViolation::MalformedWrites { .. }) => {
+                // Precondition failures: the oracle may go either way.
+            }
+            Err(e) => prop_assert!(
+                !lin,
+                "swmr violation ({e}) but linearizable:\n{}",
+                h.render()
+            ),
+        }
+    }
+
+    /// Atomic ⇒ regular, always.
+    #[test]
+    fn atomic_implies_regular(g in gen_history()) {
+        let h = materialize(&g);
+        if check_swmr_atomicity(&h).is_ok() {
+            prop_assert!(
+                check_swmr_regularity(&h).is_ok(),
+                "atomic but not regular:\n{}",
+                h.render()
+            );
+        }
+    }
+
+    /// Checkers never panic on arbitrary well-formed inputs.
+    #[test]
+    fn checkers_are_total(g in gen_history()) {
+        let h = materialize(&g);
+        let _ = check_swmr_atomicity(&h);
+        let _ = check_swmr_regularity(&h);
+        if h.len() < 16 {
+            let _ = check_linearizable(&h);
+        }
+    }
+}

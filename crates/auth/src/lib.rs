@@ -1,0 +1,139 @@
+//! # fastreg-auth
+//!
+//! Simulated digital signatures for the arbitrary-failure protocol of
+//! *How Fast can a Distributed Atomic Read be?* (§6).
+//!
+//! The paper's Byzantine-tolerant algorithm (Fig. 5) has the writer sign
+//! each timestamp and relies on exactly two properties:
+//!
+//! * **Property 1 (Authentication)**: readers can check that a value
+//!   returned by a server was in fact written by the writer.
+//! * **Property 2 (Unforgeability)**: it is impossible to forge the digital
+//!   signature of the writer.
+//!
+//! The paper uses RSA [Rivest et al. 1978]. Inside a simulation we do not
+//! need (or want) real public-key cryptography; we need those two properties
+//! to hold *among the simulated processes*. This crate provides them by
+//! construction:
+//!
+//! * Signing requires a [`SignerHandle`], which only the process that was
+//!   issued the key holds. Byzantine strategies are handed a [`Verifier`]
+//!   but never the writer's handle, so they cannot produce a valid
+//!   signature for a timestamp the writer never signed — unforgeability is
+//!   enforced by Rust's visibility rules rather than by number theory.
+//! * Verification is available to everyone through the [`Verifier`], which
+//!   shares no mutable state and can be cloned into every actor —
+//!   authentication.
+//!
+//! Tags are 64-bit keyed digests (a splitmix-style mix of the key secret and
+//! the payload digest), so even a strategy that tried to guess tags at
+//! random would need ~2⁶⁴ attempts — the in-simulation analogue of
+//! computational infeasibility.
+//!
+//! ## Example
+//!
+//! ```
+//! use fastreg_auth::{Keychain, digest::Digestible};
+//!
+//! let mut chain = Keychain::new(42);
+//! let writer = chain.issue();
+//! let verifier = chain.verifier();
+//!
+//! let ts: u64 = 7;
+//! let sig = writer.sign(ts.digest());
+//!
+//! assert!(verifier.verify(writer.key(), ts.digest(), &sig));
+//! assert!(!verifier.verify(writer.key(), 8u64.digest(), &sig)); // wrong payload
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod digest;
+pub mod keychain;
+
+pub use keychain::{KeyId, Keychain, Signature, SignerHandle, Verifier};
+
+/// A value bundled with a signature over its digest.
+///
+/// This is the shape that travels in `write`/`readack` messages of the
+/// Byzantine protocol: the paper's `ts_σw`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Signed<T> {
+    /// The signed value.
+    pub value: T,
+    /// Signature over `value.digest()`.
+    pub signature: Signature,
+}
+
+impl<T: digest::Digestible> Signed<T> {
+    /// Signs `value` with `signer`.
+    pub fn new(value: T, signer: &SignerHandle) -> Self {
+        let signature = signer.sign(value.digest());
+        Signed { value, signature }
+    }
+
+    /// Verifies that `self.value` was signed by `key`.
+    pub fn verify(&self, verifier: &Verifier, key: KeyId) -> bool {
+        verifier.verify(key, self.value.digest(), &self.signature)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signed_wrapper_roundtrips() {
+        let mut chain = Keychain::new(1);
+        let h = chain.issue();
+        let v = chain.verifier();
+        let s = Signed::new(99u64, &h);
+        assert!(s.verify(&v, h.key()));
+    }
+
+    #[test]
+    fn signed_wrapper_rejects_tampered_value() {
+        let mut chain = Keychain::new(1);
+        let h = chain.issue();
+        let v = chain.verifier();
+        let mut s = Signed::new(99u64, &h);
+        s.value = 100;
+        assert!(!s.verify(&v, h.key()));
+    }
+
+    #[test]
+    fn signed_wrapper_rejects_wrong_signer_claim() {
+        let mut chain = Keychain::new(1);
+        let writer = chain.issue();
+        let other = chain.issue();
+        let v = chain.verifier();
+        let s = Signed::new(5u64, &other);
+        assert!(!s.verify(&v, writer.key()));
+        assert!(s.verify(&v, other.key()));
+    }
+
+    #[test]
+    fn signed_is_cloneable_and_comparable() {
+        let mut chain = Keychain::new(3);
+        let h = chain.issue();
+        let a = Signed::new(1u64, &h);
+        let b = a.clone();
+        assert_eq!(a, b);
+        let c = Signed::new(2u64, &h);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cross_keychain_signatures_do_not_verify() {
+        let mut chain1 = Keychain::new(10);
+        let mut chain2 = Keychain::new(11);
+        let h1 = chain1.issue();
+        let h2 = chain2.issue();
+        let v2 = chain2.verifier();
+        // Same key index, different chains: chain1's signature must not
+        // verify under chain2 (they have different secrets).
+        let s = Signed::new(5u64, &h1);
+        assert_eq!(h1.key(), h2.key());
+        assert!(!s.verify(&v2, h2.key()));
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests of the signature substrate: the two §6.1
+//! properties (Authentication, Unforgeability) must hold for arbitrary
+//! payloads, keys and tampering.
+
+use proptest::prelude::*;
+
+use fastreg_auth::digest::{fnv1a, Digestible, DigestWriter};
+use fastreg_auth::{Keychain, Signed};
+
+proptest! {
+    /// Authentication: a genuine signature always verifies.
+    #[test]
+    fn genuine_signatures_verify(seed in any::<u64>(), payload in any::<u64>()) {
+        let mut chain = Keychain::new(seed);
+        let h = chain.issue();
+        let v = chain.verifier();
+        let sig = h.sign(payload);
+        prop_assert!(v.verify(h.key(), payload, &sig));
+    }
+
+    /// Unforgeability: a signature never verifies against a different
+    /// payload or a different key.
+    #[test]
+    fn signatures_do_not_transfer(
+        seed in any::<u64>(),
+        payload in any::<u64>(),
+        other_payload in any::<u64>(),
+    ) {
+        prop_assume!(payload != other_payload);
+        let mut chain = Keychain::new(seed);
+        let h1 = chain.issue();
+        let h2 = chain.issue();
+        let v = chain.verifier();
+        let sig = h1.sign(payload);
+        prop_assert!(!v.verify(h1.key(), other_payload, &sig));
+        prop_assert!(!v.verify(h2.key(), payload, &sig));
+    }
+
+    /// Tampering with a signed value is always detected.
+    #[test]
+    fn tampered_signed_values_fail(
+        seed in any::<u64>(),
+        value in any::<u64>(),
+        tamper in any::<u64>(),
+    ) {
+        prop_assume!(value != tamper);
+        let mut chain = Keychain::new(seed);
+        let h = chain.issue();
+        let v = chain.verifier();
+        let mut s = Signed::new(value, &h);
+        prop_assert!(s.verify(&v, h.key()));
+        s.value = tamper;
+        prop_assert!(!s.verify(&v, h.key()));
+    }
+
+    /// Digests are stable and injective-in-practice over structure: the
+    /// incremental writer agrees with the one-shot function, and
+    /// length-prefixing separates concatenation ambiguities.
+    #[test]
+    fn digest_writer_agrees_with_oneshot(bytes in proptest::collection::vec(any::<u8>(), 0..64)) {
+        let mut w = DigestWriter::new();
+        w.write_bytes(&bytes);
+        prop_assert_eq!(w.finish(), fnv1a(&bytes));
+    }
+
+    /// Tuple digests depend on every component.
+    #[test]
+    fn tuple_digest_depends_on_components(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        prop_assume!(b != c);
+        prop_assert_ne!((a, b).digest(), (a, c).digest());
+        prop_assert_ne!((b, a).digest(), (c, a).digest());
+    }
+
+    /// Signing is deterministic per (chain, key, payload).
+    #[test]
+    fn signing_is_deterministic(seed in any::<u64>(), payload in any::<u64>()) {
+        let make = || {
+            let mut chain = Keychain::new(seed);
+            let h = chain.issue();
+            h.sign(payload)
+        };
+        prop_assert_eq!(make(), make());
+    }
+}

@@ -1,0 +1,79 @@
+//! Cost of the mechanical checkers on histories of growing size: the
+//! specialized four-condition SWMR checker is polynomial; the Wing–Gong
+//! linearizability oracle is exponential in the worst case but fast on
+//! realistic histories.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fastreg_atomicity::history::{History, RegValue};
+use fastreg_atomicity::linearizability::check_linearizable;
+use fastreg_atomicity::swmr::check_swmr_atomicity;
+
+/// A clean sequential history with `n_writes` writes each followed by two
+/// reads.
+fn sequential_history(n_writes: u64) -> History {
+    let mut h = History::new();
+    let mut t = 0u64;
+    for v in 1..=n_writes {
+        let w = h.invoke_write(0, v, t);
+        h.respond(w, None, t + 1);
+        let r1 = h.invoke_read(1, t + 2);
+        h.respond(r1, Some(RegValue::Val(v)), t + 3);
+        let r2 = h.invoke_read(2, t + 4);
+        h.respond(r2, Some(RegValue::Val(v)), t + 5);
+        t += 6;
+    }
+    h
+}
+
+/// A history of heavily overlapping reads around one slow write.
+fn concurrent_history(n_reads: u64) -> History {
+    let mut h = History::new();
+    let w = h.invoke_write(0, 1, 0);
+    h.respond(w, None, 1000);
+    for i in 0..n_reads {
+        let r = h.invoke_read(1 + (i % 3) as u32, 10 + i);
+        let ret = if i % 2 == 0 {
+            RegValue::Val(1)
+        } else {
+            RegValue::Bottom
+        };
+        h.respond(r, Some(ret), 500 + i);
+    }
+    h
+}
+
+fn checkers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("swmr_checker");
+    for n in [10u64, 100, 500] {
+        let h = sequential_history(n);
+        g.bench_function(BenchmarkId::new("sequential", n * 3), |b| {
+            b.iter(|| check_swmr_atomicity(&h).unwrap())
+        });
+    }
+    for n in [10u64, 50, 200] {
+        let h = concurrent_history(n);
+        g.bench_function(BenchmarkId::new("concurrent", n + 1), |b| {
+            b.iter(|| check_swmr_atomicity(&h).unwrap())
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("linearizability_oracle");
+    for n in [5u64, 10, 18] {
+        let h = sequential_history(n);
+        g.bench_function(BenchmarkId::new("sequential", n * 3), |b| {
+            b.iter(|| check_linearizable(&h).unwrap())
+        });
+    }
+    for n in [8u64, 16, 30] {
+        let h = concurrent_history(n);
+        g.bench_function(BenchmarkId::new("concurrent", n + 1), |b| {
+            b.iter(|| check_linearizable(&h).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, checkers);
+criterion_main!(benches);

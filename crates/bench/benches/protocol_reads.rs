@@ -1,0 +1,60 @@
+//! E2/E9 companion: per-operation cost of each protocol over the
+//! simulated cluster (simulation overhead included — the interesting
+//! output is the *relative* cost, mirroring the message/round structure:
+//! fast < regular < max–min < ABD for reads).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fastreg::config::ClusterConfig;
+use fastreg::harness::{Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, ProtocolFamily};
+
+fn bench_protocol<P: ProtocolFamily>(c: &mut Criterion, group: &str, name: &str, cfg: ClusterConfig) {
+    let mut g = c.benchmark_group(group);
+    g.bench_function(BenchmarkId::new(name, format!("S{}t{}R{}", cfg.s, cfg.t, cfg.r)), |b| {
+        let mut cluster: Cluster<P> = Cluster::new(cfg, 1);
+        cluster.write_sync(1);
+        b.iter(|| {
+            cluster.read_async(0);
+            cluster.settle();
+        });
+    });
+    g.finish();
+}
+
+fn bench_write<P: ProtocolFamily>(c: &mut Criterion, name: &str, cfg: ClusterConfig) {
+    let mut g = c.benchmark_group("write");
+    g.bench_function(BenchmarkId::new(name, format!("S{}", cfg.s)), |b| {
+        let mut cluster: Cluster<P> = Cluster::new(cfg, 1);
+        let mut v = 0u64;
+        b.iter(|| {
+            v += 1;
+            cluster.write(v);
+            cluster.settle();
+        });
+    });
+    g.finish();
+}
+
+fn protocol_reads(c: &mut Criterion) {
+    let crash = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let majority = ClusterConfig::crash_stop(5, 2, 2).expect("valid");
+    let byz = ClusterConfig::byzantine(6, 1, 1, 1).expect("valid");
+
+    bench_protocol::<FastCrash>(c, "read", "fast_crash", crash);
+    bench_protocol::<FastByz>(c, "read", "fast_byz", byz);
+    bench_protocol::<Abd>(c, "read", "abd", majority);
+    bench_protocol::<MaxMin>(c, "read", "maxmin", majority);
+    bench_protocol::<FastRegular>(c, "read", "fast_regular", majority);
+
+    bench_write::<FastCrash>(c, "fast_crash", crash);
+    bench_write::<Abd>(c, "abd", majority);
+
+    // Scaling with the server count (Table-style series over S).
+    for s in [5u32, 10, 20, 40] {
+        let cfg = ClusterConfig::crash_stop(s, 1, 2).expect("valid");
+        bench_protocol::<FastCrash>(c, "read_scaling", "fast_crash", cfg);
+    }
+}
+
+criterion_group!(benches, protocol_reads);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Regenerates every experiment table from EXPERIMENTS.md.
+//!
+//! Usage:
+//!
+//! ```text
+//! report                 # run everything
+//! report e3 e8           # run a subset
+//! report --quick         # smaller seed counts (CI-friendly)
+//! ```
+
+use std::env;
+
+use fastreg_workload::experiments as exp;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let selected: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
+    let seeds = if quick { 10 } else { 40 };
+
+    type Experiment<'a> = (&'a str, &'a str, Box<dyn Fn() -> String>);
+    let experiments: Vec<Experiment> = vec![
+        (
+            "e1",
+            "E1 — Fig. 2 atomicity under crashes and random schedules",
+            Box::new(move || exp::e1_fast_crash_atomicity(seeds).render()),
+        ),
+        (
+            "e2",
+            "E2 — read/write cost in message delays (fast = 1 round trip)",
+            Box::new(|| exp::e2_round_trips().render()),
+        ),
+        (
+            "e3",
+            "E3 — §5 lower bound: prC violates atomicity iff R ≥ S/t − 2",
+            Box::new(|| exp::e3_crash_lower_bound().render()),
+        ),
+        (
+            "e4",
+            "E4 — Fig. 5 atomicity under the Byzantine behaviour library",
+            Box::new(move || exp::e4_byz_atomicity(seeds).render()),
+        ),
+        (
+            "e5",
+            "E5 — §6.2 lower bound with memory-losing Byzantine servers",
+            Box::new(|| exp::e5_byz_lower_bound().render()),
+        ),
+        (
+            "e6",
+            "E6 — §7: no fast MWMR register (naive candidate refuted)",
+            Box::new(|| exp::e6_mwmr().render()),
+        ),
+        (
+            "e7",
+            "E7 — §8 trade-off: fast regular register vs atomicity",
+            Box::new(move || exp::e7_regular_tradeoff(seeds).render()),
+        ),
+        (
+            "e8",
+            "E8 — feasibility frontier: formula vs experiment",
+            Box::new(|| exp::e8_frontier().render()),
+        ),
+        (
+            "e9",
+            "E9 — read latency distributions across delay models",
+            Box::new(|| exp::e9_latency().render()),
+        ),
+        (
+            "e10",
+            "E10 — predicate internals (witness levels, exact vs brute force)",
+            Box::new(|| exp::e10_predicate().render()),
+        ),
+        (
+            "e11",
+            "E11 — the R = 1 corner: fast single-reader register at t < S/2",
+            Box::new(move || exp::e11_single_reader(seeds).render()),
+        ),
+        (
+            "e12",
+            "E12 — bounded-exhaustive schedule exploration (systematic, not sampled)",
+            Box::new(move || exp::e12_exploration(if quick { 800 } else { 4000 }).render()),
+        ),
+        (
+            "e13",
+            "E13 — ablation: every count-only predicate is refuted (§4's argument for `seen`)",
+            Box::new(|| exp::e13_seen_ablation().render()),
+        ),
+    ];
+
+    for (id, title, run) in experiments {
+        if !want(id) {
+            continue;
+        }
+        println!("{}", "=".repeat(72));
+        println!("{title}");
+        println!("{}", "=".repeat(72));
+        println!("{}", run());
+    }
+}

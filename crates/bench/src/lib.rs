@@ -1,0 +1,18 @@
+//! # fastreg-bench
+//!
+//! Criterion benchmarks and the `report` binary.
+//!
+//! * `cargo run -p fastreg-bench --bin report --release` regenerates every
+//!   experiment table (E1–E10) from `EXPERIMENTS.md`.
+//! * `cargo bench -p fastreg-bench` runs the wall-clock and simulated-time
+//!   microbenchmarks:
+//!   - `protocol_reads` — fast vs ABD vs max–min read, simulated cluster;
+//!   - `threaded_reads` — the same automata over real OS threads;
+//!   - `predicate` — the Fig. 2 line-19 predicate evaluation;
+//!   - `checker` — the SWMR atomicity checker and linearizability oracle;
+//!   - `lower_bounds` — the full §5/§6.2/§7 proof constructions.
+
+#![warn(missing_docs)]
+
+/// Re-export for the benches.
+pub use fastreg_workload::experiments;

@@ -1,0 +1,770 @@
+//! One-call cluster assembly over the discrete-event simulator.
+//!
+//! A [`Cluster`] wires a full register deployment — writer(s), readers,
+//! servers — into a [`World`] and drives operations against it. The
+//! protocol is chosen by a zero-sized [`ProtocolFamily`] type parameter:
+//!
+//! ```
+//! use fastreg::config::ClusterConfig;
+//! use fastreg::harness::{Abd, Cluster, FastCrash};
+//! use fastreg::types::RegValue;
+//!
+//! let cfg = ClusterConfig::crash_stop(5, 1, 2)?;
+//! let mut fast: Cluster<FastCrash> = Cluster::new(cfg, 1);
+//! fast.write_sync(9);
+//! assert_eq!(fast.read(1), RegValue::Val(9));
+//!
+//! let cfg = ClusterConfig::crash_stop(5, 2, 3)?;
+//! let mut abd: Cluster<Abd> = Cluster::new(cfg, 1);
+//! abd.write_sync(9);
+//! assert_eq!(abd.read(2), RegValue::Val(9));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use std::fmt;
+
+use fastreg_atomicity::history::{History, SharedHistory};
+use fastreg_atomicity::linearizability::{check_linearizable, LinCheckError};
+use fastreg_atomicity::regularity::{check_swmr_regularity, RegularityViolation};
+use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
+use fastreg_auth::{Keychain, KeyId, SignerHandle, Verifier};
+use fastreg_simnet::automaton::Automaton;
+use fastreg_simnet::runner::SimConfig;
+use fastreg_simnet::world::World;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::protocols::{abd, fast_byz, fast_crash, fast_regular, maxmin, mwmr, swsr_fast};
+use crate::types::{RegValue, Value};
+
+/// A family of automata implementing one register protocol.
+///
+/// Implemented by the zero-sized markers [`FastCrash`], [`FastByz`],
+/// [`Abd`], [`MaxMin`], [`FastRegular`], [`MwmrAbd`] and [`MwmrNaiveFast`].
+/// The associated `Ctx` carries per-cluster shared state (the Byzantine
+/// protocol's keys); most families use `()`.
+pub trait ProtocolFamily {
+    /// The protocol's message alphabet.
+    type Msg: Clone + fmt::Debug + Send + 'static;
+    /// Per-cluster context threaded through actor construction.
+    type Ctx;
+
+    /// Builds the cluster context.
+    fn make_ctx(cfg: &ClusterConfig, seed: u64) -> Self::Ctx;
+    /// Builds writer `index`.
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        ctx: &mut Self::Ctx,
+    ) -> Box<dyn Automaton<Msg = Self::Msg>>;
+    /// Builds reader `index`.
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        ctx: &mut Self::Ctx,
+    ) -> Box<dyn Automaton<Msg = Self::Msg>>;
+    /// Builds server `index`.
+    fn server(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        ctx: &mut Self::Ctx,
+    ) -> Box<dyn Automaton<Msg = Self::Msg>>;
+    /// The environment message invoking `write(value)`.
+    fn invoke_write(value: Value) -> Self::Msg;
+    /// The environment message invoking `read()`.
+    fn invoke_read() -> Self::Msg;
+}
+
+/// Context of a [`FastByz`] cluster: the writer's signing key and the
+/// shared verifier.
+pub struct ByzCtx {
+    signer: Option<SignerHandle>,
+    /// The verifier distributed to every process.
+    pub verifier: Verifier,
+    /// The writer's public key id.
+    pub writer_key: KeyId,
+}
+
+/// Fig. 2 — fast crash-stop protocol marker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastCrash;
+
+impl ProtocolFamily for FastCrash {
+    type Msg = fast_crash::Msg;
+    type Ctx = ();
+
+    fn make_ctx(_cfg: &ClusterConfig, _seed: u64) {}
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_crash::Writer::new(*cfg, layout, history))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_crash::Reader::new(*cfg, layout, history))
+    }
+
+    fn server(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_crash::Server::new(cfg, layout))
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        fast_crash::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        fast_crash::Msg::InvokeRead
+    }
+}
+
+/// Fig. 5 — fast arbitrary-failure protocol marker.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastByz;
+
+impl ProtocolFamily for FastByz {
+    type Msg = fast_byz::Msg;
+    type Ctx = ByzCtx;
+
+    fn make_ctx(_cfg: &ClusterConfig, seed: u64) -> ByzCtx {
+        let mut chain = Keychain::new(seed ^ 0x5167_fa57);
+        let signer = chain.issue();
+        let writer_key = signer.key();
+        ByzCtx {
+            signer: Some(signer),
+            verifier: chain.verifier(),
+            writer_key,
+        }
+    }
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        ctx: &mut ByzCtx,
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        let signer = ctx.signer.take().expect("one writer per cluster");
+        Box::new(fast_byz::Writer::new(
+            *cfg,
+            layout,
+            history,
+            signer,
+            ctx.verifier.clone(),
+        ))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        ctx: &mut ByzCtx,
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_byz::Reader::new(
+            *cfg,
+            layout,
+            index,
+            history,
+            ctx.verifier.clone(),
+            ctx.writer_key,
+        ))
+    }
+
+    fn server(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        ctx: &mut ByzCtx,
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_byz::Server::new(
+            cfg,
+            layout,
+            ctx.verifier.clone(),
+            ctx.writer_key,
+        ))
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        fast_byz::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        fast_byz::Msg::InvokeRead
+    }
+}
+
+/// ABD baseline marker (two-round reads).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Abd;
+
+impl ProtocolFamily for Abd {
+    type Msg = abd::Msg;
+    type Ctx = ();
+
+    fn make_ctx(_cfg: &ClusterConfig, _seed: u64) {}
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(abd::Writer::new(*cfg, layout, history))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(abd::Reader::new(*cfg, layout, history))
+    }
+
+    fn server(
+        _cfg: &ClusterConfig,
+        _layout: Layout,
+        _index: u32,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(abd::Server::new())
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        abd::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        abd::Msg::InvokeRead
+    }
+}
+
+/// Max–min decentralized baseline marker (§1).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MaxMin;
+
+impl ProtocolFamily for MaxMin {
+    type Msg = maxmin::Msg;
+    type Ctx = ();
+
+    fn make_ctx(_cfg: &ClusterConfig, _seed: u64) {}
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(maxmin::Writer::new(*cfg, layout, history))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(maxmin::Reader::new(*cfg, layout, index, history))
+    }
+
+    fn server(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(maxmin::Server::new(*cfg, layout, index))
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        maxmin::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        maxmin::Msg::InvokeRead
+    }
+}
+
+/// Fast regular register marker (§8).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastRegular;
+
+impl ProtocolFamily for FastRegular {
+    type Msg = fast_regular::Msg;
+    type Ctx = ();
+
+    fn make_ctx(_cfg: &ClusterConfig, _seed: u64) {}
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_regular::Writer::new(*cfg, layout, history))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_regular::Reader::new(*cfg, layout, history))
+    }
+
+    fn server(
+        _cfg: &ClusterConfig,
+        _layout: Layout,
+        _index: u32,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(fast_regular::Server::new())
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        fast_regular::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        fast_regular::Msg::InvokeRead
+    }
+}
+
+/// Correct two-round MWMR register marker (§7 baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MwmrAbd;
+
+impl ProtocolFamily for MwmrAbd {
+    type Msg = mwmr::abd::Msg;
+    type Ctx = ();
+
+    fn make_ctx(_cfg: &ClusterConfig, _seed: u64) {}
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(mwmr::abd::Client::writer(*cfg, layout, index, history))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(mwmr::abd::Client::reader(*cfg, layout, history))
+    }
+
+    fn server(
+        _cfg: &ClusterConfig,
+        _layout: Layout,
+        _index: u32,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(mwmr::abd::Server::new())
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        mwmr::abd::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        mwmr::abd::Msg::InvokeRead
+    }
+}
+
+/// The unsound one-round MWMR protocol marker (§7 counterexample target).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MwmrNaiveFast;
+
+impl ProtocolFamily for MwmrNaiveFast {
+    type Msg = mwmr::naive_fast::Msg;
+    type Ctx = ();
+
+    fn make_ctx(_cfg: &ClusterConfig, _seed: u64) {}
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(mwmr::naive_fast::Writer::new(*cfg, layout, index, history))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(mwmr::naive_fast::Reader::new(*cfg, layout, history))
+    }
+
+    fn server(
+        _cfg: &ClusterConfig,
+        _layout: Layout,
+        _index: u32,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(mwmr::naive_fast::Server::new())
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        mwmr::naive_fast::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        mwmr::naive_fast::Msg::InvokeRead
+    }
+}
+
+/// The §1 single-reader fast register marker (`R = 1`, `t < S/2`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SwsrFast;
+
+impl ProtocolFamily for SwsrFast {
+    type Msg = swsr_fast::Msg;
+    type Ctx = ();
+
+    fn make_ctx(_cfg: &ClusterConfig, _seed: u64) {}
+
+    fn writer(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        _index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(swsr_fast::Writer::new(*cfg, layout, history))
+    }
+
+    fn reader(
+        cfg: &ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        assert_eq!(index, 0, "the SWSR protocol supports exactly one reader");
+        Box::new(swsr_fast::Reader::new(*cfg, layout, history))
+    }
+
+    fn server(
+        _cfg: &ClusterConfig,
+        _layout: Layout,
+        _index: u32,
+        _ctx: &mut (),
+    ) -> Box<dyn Automaton<Msg = Self::Msg>> {
+        Box::new(swsr_fast::Server::new())
+    }
+
+    fn invoke_write(value: Value) -> Self::Msg {
+        swsr_fast::Msg::InvokeWrite { value }
+    }
+
+    fn invoke_read() -> Self::Msg {
+        swsr_fast::Msg::InvokeRead
+    }
+}
+
+/// A fully assembled register deployment in a simulated world.
+pub struct Cluster<P: ProtocolFamily> {
+    /// The configuration.
+    pub cfg: ClusterConfig,
+    /// The role/address layout.
+    pub layout: Layout,
+    /// The simulated world (public: scripted tests drive it directly).
+    pub world: World<P::Msg>,
+    /// The operation history being recorded.
+    pub history: SharedHistory,
+    /// Per-cluster protocol context (keys etc.).
+    pub ctx: P::Ctx,
+}
+
+impl<P: ProtocolFamily> Cluster<P> {
+    /// Builds a cluster with default simulation settings and the given
+    /// seed.
+    pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
+        Self::with_sim_config(cfg, SimConfig::default().with_seed(seed))
+    }
+
+    /// Builds a cluster over a custom simulation configuration.
+    pub fn with_sim_config(cfg: ClusterConfig, sim: SimConfig) -> Self {
+        Self::with_server_factory(cfg, sim, |cfg, layout, index, ctx| {
+            P::server(cfg, layout, index, ctx)
+        })
+    }
+
+    /// Builds a cluster with some servers replaced — the entry point for
+    /// Byzantine-behaviour experiments. The factory is called once per
+    /// server index, in order.
+    pub fn with_server_factory(
+        cfg: ClusterConfig,
+        sim: SimConfig,
+        mut server_factory: impl FnMut(
+            &ClusterConfig,
+            Layout,
+            u32,
+            &mut P::Ctx,
+        ) -> Box<dyn Automaton<Msg = P::Msg>>,
+    ) -> Self {
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let seed = sim.seed;
+        let mut ctx = P::make_ctx(&cfg, seed);
+        let mut world: World<P::Msg> = World::new(sim);
+        for i in 0..cfg.w {
+            let a = P::writer(&cfg, layout, i, history.clone(), &mut ctx);
+            world.add_actor(a);
+        }
+        for i in 0..cfg.r {
+            let a = P::reader(&cfg, layout, i, history.clone(), &mut ctx);
+            world.add_actor(a);
+        }
+        for j in 0..cfg.s {
+            let a = server_factory(&cfg, layout, j, &mut ctx);
+            world.add_actor(a);
+        }
+        Cluster {
+            cfg,
+            layout,
+            world,
+            history,
+            ctx,
+        }
+    }
+
+    /// Invokes `write(value)` at writer 0 without settling.
+    pub fn write(&mut self, value: Value) {
+        self.write_by(0, value);
+    }
+
+    /// Invokes `write(value)` at writer `wid` without settling.
+    pub fn write_by(&mut self, wid: u32, value: Value) {
+        let w = self.layout.writer(wid);
+        self.world.inject(w, P::invoke_write(value));
+    }
+
+    /// Invokes `read()` at reader `index` without settling.
+    pub fn read_async(&mut self, index: u32) {
+        let r = self.layout.reader(index);
+        self.world.inject(r, P::invoke_read());
+    }
+
+    /// Runs the world until quiescent.
+    pub fn settle(&mut self) {
+        self.world.run_until_quiescent();
+    }
+
+    /// Invokes `write(value)` at writer 0 and settles.
+    pub fn write_sync(&mut self, value: Value) {
+        self.write(value);
+        self.settle();
+    }
+
+    /// Invokes `read()` at reader `index`, settles, and returns the value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read did not complete (e.g. too many servers crashed).
+    pub fn read(&mut self, index: u32) -> RegValue {
+        let reader_addr = self.layout.reader(index).index();
+        let before = self
+            .history
+            .snapshot()
+            .reads()
+            .filter(|r| r.proc == reader_addr && r.is_complete())
+            .count();
+        self.read_async(index);
+        self.settle();
+        let snap = self.history.snapshot();
+        let op = snap
+            .reads()
+            .filter(|r| r.proc == reader_addr && r.is_complete())
+            .nth(before)
+            .unwrap_or_else(|| panic!("read by reader {index} did not complete"));
+        op.returned.expect("complete reads carry a value")
+    }
+
+    /// Snapshot of the recorded history.
+    pub fn snapshot(&self) -> History {
+        self.history.snapshot()
+    }
+
+    /// Checks the §3.1 SWMR atomicity conditions on the history so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if the history is not atomic.
+    pub fn check_atomic(&self) -> Result<(), AtomicityViolation> {
+        check_swmr_atomicity(&self.snapshot())
+    }
+
+    /// Checks general linearizability (for MWMR histories).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the history is too long for the checker.
+    pub fn check_linearizable(&self) -> Result<bool, LinCheckError> {
+        check_linearizable(&self.snapshot())
+    }
+
+    /// Checks SWMR regularity (§8).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if the history is not regular.
+    pub fn check_regular(&self) -> Result<(), RegularityViolation> {
+        check_swmr_regularity(&self.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_crash_cluster_end_to_end() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 7);
+        c.write_sync(1);
+        assert_eq!(c.read(0), RegValue::Val(1));
+        c.write_sync(2);
+        assert_eq!(c.read(1), RegValue::Val(2));
+        c.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn fast_byz_cluster_end_to_end() {
+        let cfg = ClusterConfig::byzantine(6, 1, 1, 1).unwrap();
+        let mut c: Cluster<FastByz> = Cluster::new(cfg, 7);
+        c.write_sync(5);
+        assert_eq!(c.read(0), RegValue::Val(5));
+        c.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn abd_cluster_end_to_end() {
+        let cfg = ClusterConfig::crash_stop(4, 1, 3).unwrap();
+        let mut c: Cluster<Abd> = Cluster::new(cfg, 7);
+        c.write_sync(3);
+        assert_eq!(c.read(2), RegValue::Val(3));
+        c.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn maxmin_cluster_end_to_end() {
+        let cfg = ClusterConfig::crash_stop(5, 2, 2).unwrap();
+        let mut c: Cluster<MaxMin> = Cluster::new(cfg, 7);
+        c.write_sync(4);
+        assert_eq!(c.read(0), RegValue::Val(4));
+        c.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn fast_regular_cluster_end_to_end() {
+        let cfg = ClusterConfig::crash_stop(5, 2, 4).unwrap();
+        let mut c: Cluster<FastRegular> = Cluster::new(cfg, 7);
+        c.write_sync(4);
+        assert_eq!(c.read(3), RegValue::Val(4));
+        c.check_regular().unwrap();
+    }
+
+    #[test]
+    fn mwmr_abd_cluster_end_to_end() {
+        let cfg = ClusterConfig::mwmr(3, 1, 2, 2).unwrap();
+        let mut c: Cluster<MwmrAbd> = Cluster::new(cfg, 7);
+        c.write_by(0, 1);
+        c.settle();
+        c.write_by(1, 2);
+        c.settle();
+        assert_eq!(c.read(0), RegValue::Val(2));
+        assert_eq!(c.check_linearizable(), Ok(true));
+    }
+
+    #[test]
+    fn mwmr_naive_cluster_assembles() {
+        let cfg = ClusterConfig::mwmr(3, 1, 2, 2).unwrap();
+        let mut c: Cluster<MwmrNaiveFast> = Cluster::new(cfg, 7);
+        c.write_by(1, 9);
+        c.settle();
+        assert_eq!(c.read(1), RegValue::Val(9));
+    }
+
+    #[test]
+    fn read_returns_bottom_on_fresh_cluster() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 7);
+        assert_eq!(c.read(0), RegValue::Bottom);
+    }
+
+    #[test]
+    fn multiple_reads_by_same_reader_are_counted() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 7);
+        assert_eq!(c.read(0), RegValue::Bottom);
+        c.write_sync(1);
+        assert_eq!(c.read(0), RegValue::Val(1));
+        c.write_sync(2);
+        assert_eq!(c.read(0), RegValue::Val(2));
+        c.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn server_factory_injects_custom_servers() {
+        use fastreg_simnet::byz::{ByzActor, Mute};
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        // Replace server 4 with a mute (crash-like) server: operations
+        // still complete because quorum = 4.
+        let mut c: Cluster<FastCrash> = Cluster::with_server_factory(
+            cfg,
+            SimConfig::default(),
+            |cfg, layout, index, ctx| {
+                if index == 4 {
+                    Box::new(ByzActor::new(Box::new(Mute)))
+                } else {
+                    FastCrash::server(cfg, layout, index, ctx)
+                }
+            },
+        );
+        c.write_sync(1);
+        assert_eq!(c.read(0), RegValue::Val(1));
+        c.check_atomic().unwrap();
+    }
+}

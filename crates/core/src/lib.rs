@@ -1,0 +1,53 @@
+//! # fastreg
+//!
+//! A from-scratch implementation of *How Fast can a Distributed Atomic
+//! Read be?* (Dutta, Guerraoui, Levy, Vukolić; PODC 2004): fast
+//! (one-round) single-writer multi-reader atomic register protocols over
+//! an asynchronous message-passing system, together with the baselines the
+//! paper discusses.
+//!
+//! The paper's headline result is a tight bound: a fast SWMR atomic
+//! register exists **iff** the number of readers satisfies
+//! `R < (S + b)/(t + b) − 2`, where `t` of the `S` servers may fail, `b`
+//! of them maliciously (`b = 0` gives the crash-stop bound `R < S/t − 2`).
+//! No fast MWMR register exists at all.
+//!
+//! ## Crate map
+//!
+//! * [`config`] — cluster parameters and the feasibility predicates.
+//! * [`types`] — timestamps, client ids, the two-tag value scheme.
+//! * [`quorum`] — the counting machinery (`S − a·t − (a−1)·b`, blocks).
+//! * [`predicate`] — the fast-read safety predicate (Fig. 2/5 line 19).
+//! * [`layout`] — role ↔ address mapping.
+//! * [`protocols`] — Fig. 2, Fig. 5, ABD, max–min, fast regular, MWMR.
+//! * [`byz`] — malicious server strategies (protocol-aware).
+//! * [`harness`] — one-call cluster assembly over the simulator.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use fastreg::config::ClusterConfig;
+//! use fastreg::harness::{Cluster, FastCrash};
+//! use fastreg::types::RegValue;
+//!
+//! // 5 servers, tolerate 1 crash, 2 readers: fast-feasible.
+//! let cfg = ClusterConfig::crash_stop(5, 1, 2)?;
+//! let mut cluster: Cluster<FastCrash> = Cluster::new(cfg, 42);
+//!
+//! cluster.write(7);
+//! cluster.settle();
+//! assert_eq!(cluster.read(0), RegValue::Val(7));
+//! cluster.check_atomic()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod byz;
+pub mod config;
+pub mod harness;
+pub mod layout;
+pub mod predicate;
+pub mod protocols;
+pub mod quorum;
+pub mod types;

@@ -1,0 +1,486 @@
+//! The classic SWMR register of Attiya, Bar-Noy and Dolev (ABD), the
+//! baseline the paper builds on (§1).
+//!
+//! Requires only `t < S/2`. The write is fast (one round), but every read
+//! takes **two** round-trips: a query phase discovering the latest
+//! `(timestamp, value)` at a quorum, then a write-back phase propagating it
+//! to a quorum before returning — "every atomic read must write". The
+//! experiments contrast its read latency and message complexity with the
+//! fast protocol's.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fastreg_atomicity::history::{OpId, SharedHistory};
+use fastreg_simnet::automaton::{Automaton, Outbox};
+use fastreg_simnet::id::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::types::{RegValue, Timestamp, Value};
+
+/// Message alphabet of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Environment → writer: invoke `write(value)`.
+    InvokeWrite {
+        /// The value to write.
+        value: Value,
+    },
+    /// Environment → reader: invoke `read()`.
+    InvokeRead,
+    /// Writer → servers: store `(ts, value)`.
+    Write {
+        /// The write's timestamp.
+        ts: Timestamp,
+        /// The written value.
+        value: Value,
+    },
+    /// Server → writer.
+    WriteAck {
+        /// Echo of the stored timestamp.
+        ts: Timestamp,
+    },
+    /// Reader → servers: phase-1 query.
+    Query {
+        /// The reader's operation counter.
+        op_counter: u64,
+    },
+    /// Server → reader: phase-1 reply.
+    QueryAck {
+        /// Echo of the operation counter.
+        op_counter: u64,
+        /// The server's timestamp.
+        ts: Timestamp,
+        /// The server's value (`⊥` before any write reached it).
+        value: RegValue,
+    },
+    /// Reader → servers: phase-2 write-back.
+    WriteBack {
+        /// Echo of the operation counter.
+        op_counter: u64,
+        /// The timestamp being propagated.
+        ts: Timestamp,
+        /// The value being propagated.
+        value: RegValue,
+    },
+    /// Server → reader: phase-2 ack.
+    WriteBackAck {
+        /// Echo of the operation counter.
+        op_counter: u64,
+    },
+}
+
+/// Server: stores the highest `(ts, value)` it has seen.
+pub struct Server {
+    /// Current timestamp.
+    pub ts: Timestamp,
+    /// Current value.
+    pub value: RegValue,
+}
+
+impl Server {
+    /// Creates a server holding `(ts0, ⊥)`.
+    pub fn new() -> Self {
+        Server {
+            ts: Timestamp::ZERO,
+            value: RegValue::Bottom,
+        }
+    }
+
+    fn adopt(&mut self, ts: Timestamp, value: RegValue) {
+        if ts > self.ts {
+            self.ts = ts;
+            self.value = value;
+        }
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Automaton for Server {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Write { ts, value } => {
+                self.adopt(ts, RegValue::Val(value));
+                out.send(from, Msg::WriteAck { ts });
+            }
+            Msg::Query { op_counter } => {
+                out.send(
+                    from,
+                    Msg::QueryAck {
+                        op_counter,
+                        ts: self.ts,
+                        value: self.value,
+                    },
+                );
+            }
+            Msg::WriteBack {
+                op_counter,
+                ts,
+                value,
+            } => {
+                self.adopt(ts, value);
+                out.send(from, Msg::WriteBackAck { op_counter });
+            }
+            _ => {}
+        }
+    }
+}
+
+struct PendingWrite {
+    op: OpId,
+    ts: Timestamp,
+    acks: BTreeSet<u32>,
+}
+
+/// Writer: one-round writes with self-incremented timestamps.
+pub struct Writer {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    /// Timestamp of the next write.
+    pub ts: Timestamp,
+    pending: Option<PendingWrite>,
+}
+
+impl Writer {
+    /// Creates the writer in its initial state.
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Writer {
+            cfg,
+            layout,
+            history,
+            ts: Timestamp(1),
+            pending: None,
+        }
+    }
+
+    /// Returns `true` if no write is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Writer {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeWrite { value } => {
+                assert!(from.is_external(), "writes are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked write() while an operation was pending"
+                );
+                let op = self
+                    .history
+                    .invoke_write(out.this().index(), value, out.now().ticks());
+                self.pending = Some(PendingWrite {
+                    op,
+                    ts: self.ts,
+                    acks: BTreeSet::new(),
+                });
+                out.broadcast(self.layout.servers(), Msg::Write { ts: self.ts, value });
+            }
+            Msg::WriteAck { ts } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if ts != pending.ts {
+                    return;
+                }
+                pending.acks.insert(server);
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    self.history.respond(done.op, None, out.now().ticks());
+                    self.ts = self.ts.next();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+enum ReadPhase {
+    Query {
+        acks: BTreeMap<u32, (Timestamp, RegValue)>,
+    },
+    WriteBack {
+        chosen: (Timestamp, RegValue),
+        acks: BTreeSet<u32>,
+    },
+}
+
+struct PendingRead {
+    op: OpId,
+    op_counter: u64,
+    phase: ReadPhase,
+}
+
+/// Reader: two-phase reads (query + write-back).
+pub struct Reader {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    op_counter: u64,
+    pending: Option<PendingRead>,
+    /// Completed reads, for metrics.
+    pub completed_reads: u64,
+}
+
+impl Reader {
+    /// Creates a reader in its initial state.
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Reader {
+            cfg,
+            layout,
+            history,
+            op_counter: 0,
+            pending: None,
+            completed_reads: 0,
+        }
+    }
+
+    /// Returns `true` if no read is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Reader {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeRead => {
+                assert!(from.is_external(), "reads are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked read() while an operation was pending"
+                );
+                self.op_counter += 1;
+                let op = self
+                    .history
+                    .invoke_read(out.this().index(), out.now().ticks());
+                self.pending = Some(PendingRead {
+                    op,
+                    op_counter: self.op_counter,
+                    phase: ReadPhase::Query {
+                        acks: BTreeMap::new(),
+                    },
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Query {
+                        op_counter: self.op_counter,
+                    },
+                );
+            }
+            Msg::QueryAck {
+                op_counter,
+                ts,
+                value,
+            } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if op_counter != pending.op_counter {
+                    return;
+                }
+                let ReadPhase::Query { acks } = &mut pending.phase else {
+                    return; // stale phase-1 ack after we moved on
+                };
+                acks.insert(server, (ts, value));
+                if acks.len() as u32 >= quorum {
+                    let chosen = *acks.values().max_by_key(|(ts, _)| *ts).expect("nonempty");
+                    pending.phase = ReadPhase::WriteBack {
+                        chosen,
+                        acks: BTreeSet::new(),
+                    };
+                    out.broadcast(
+                        self.layout.servers(),
+                        Msg::WriteBack {
+                            op_counter,
+                            ts: chosen.0,
+                            value: chosen.1,
+                        },
+                    );
+                }
+            }
+            Msg::WriteBackAck { op_counter } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if op_counter != pending.op_counter {
+                    return;
+                }
+                let ReadPhase::WriteBack { chosen, acks } = &mut pending.phase else {
+                    return;
+                };
+                acks.insert(server);
+                if acks.len() as u32 >= quorum {
+                    let returned = chosen.1;
+                    let done = self.pending.take().expect("checked above");
+                    self.history
+                        .respond(done.op, Some(returned), out.now().ticks());
+                    self.completed_reads += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg_atomicity::swmr::check_swmr_atomicity;
+    use fastreg_simnet::runner::SimConfig;
+    use fastreg_simnet::world::World;
+
+    fn cluster(cfg: ClusterConfig, seed: u64) -> (World<Msg>, Layout, SharedHistory) {
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let mut world: World<Msg> = World::new(SimConfig::default().with_seed(seed));
+        world.add_actor(Box::new(Writer::new(cfg, layout, history.clone())));
+        for _ in 0..cfg.r {
+            world.add_actor(Box::new(Reader::new(cfg, layout, history.clone())));
+        }
+        for _ in 0..cfg.s {
+            world.add_actor(Box::new(Server::new()));
+        }
+        (world, layout, history)
+    }
+
+    /// ABD works at majority resilience where the fast protocol cannot:
+    /// S = 5, t = 2, R = 3.
+    fn cfg_majority() -> ClusterConfig {
+        ClusterConfig::crash_stop(5, 2, 3).unwrap()
+    }
+
+    #[test]
+    fn write_then_read() {
+        let (mut w, l, h) = cluster(cfg_majority(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 11 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(
+            hist.reads().next().unwrap().returned,
+            Some(RegValue::Val(11))
+        );
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn read_takes_two_round_trips() {
+        let (mut w, l, h) = cluster(cfg_majority(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+        w.run_until_quiescent();
+        let t0 = w.now();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        let rd = hist.reads().next().unwrap();
+        // Two round trips at unit delay: 4 ticks. The fast protocol's read
+        // takes 2 — this is the gap the paper closes.
+        assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 4);
+        assert_eq!(rd.invoked_at, t0.ticks());
+    }
+
+    #[test]
+    fn read_message_complexity_is_4s() {
+        let (mut w, l, _) = cluster(cfg_majority(), 1);
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        // Query + QueryAck + WriteBack + WriteBackAck, each S messages.
+        assert_eq!(w.stats().sent, 20);
+    }
+
+    #[test]
+    fn incomplete_write_seen_by_one_read_is_seen_by_later_reads() {
+        // The write-back phase is what makes this work: reader 0 sees the
+        // incomplete write at one server and propagates it to a quorum, so
+        // reader 1 cannot miss it.
+        let (mut w, l, h) = cluster(cfg_majority(), 1);
+        w.arm_crash_after_sends(l.writer(0), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let first = h.snapshot().reads().next().unwrap().returned;
+        w.inject(l.reader(1), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        let second = hist.reads().nth(1).unwrap().returned;
+        if first == Some(RegValue::Val(9)) {
+            assert_eq!(second, Some(RegValue::Val(9)));
+        }
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn survives_t_server_crashes() {
+        let (mut w, l, h) = cluster(cfg_majority(), 3);
+        w.crash(l.server(0));
+        w.crash(l.server(1));
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 4 });
+        w.run_until_quiescent();
+        w.inject(l.reader(2), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(hist.complete_ops().count(), 2);
+        assert_eq!(
+            hist.reads().next().unwrap().returned,
+            Some(RegValue::Val(4))
+        );
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn random_concurrent_schedules_are_atomic() {
+        for seed in 0..25 {
+            let (mut w, l, h) = cluster(cfg_majority(), seed);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.inject(l.reader(1), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 2 });
+            w.inject(l.reader(2), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            let hist = h.snapshot();
+            check_swmr_atomicity(&hist)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", hist.render()));
+        }
+    }
+
+    #[test]
+    fn reads_return_bottom_before_writes() {
+        let (mut w, l, h) = cluster(cfg_majority(), 1);
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        assert_eq!(
+            h.snapshot().reads().next().unwrap().returned,
+            Some(RegValue::Bottom)
+        );
+    }
+}

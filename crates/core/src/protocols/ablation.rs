@@ -1,0 +1,197 @@
+//! Ablation of the `seen` sets: the count-only predicate variant.
+//!
+//! §4 argues that "any reasonable predicate for fast reads must depend on
+//! the number of servers, *as well as the number of readers*, that have
+//! seen the most recent timestamp" — which is why Fig. 2's servers
+//! maintain `seen` sets at all. This module makes that argument
+//! executable: [`CountReader`] is the Fig. 2 reader with the predicate
+//! replaced by a bare count threshold `k` ("return `maxTS` iff at least
+//! `k` acks carry it"), over the unchanged Fig. 2 writer and servers.
+//!
+//! No threshold works. `fastreg-adversary::ablation` constructs, for
+//! every `k ∈ [1, S]`, a schedule on which the count-only protocol
+//! violates atomicity — even in configurations where the real protocol is
+//! provably correct:
+//!
+//! * `k > S − 2t`: a *completed* write can be seen by too few quorum
+//!   members, so a subsequent read returns the old value (condition 2).
+//! * `k ≤ S − 2t`: an *incomplete* write seen by exactly `k` servers is
+//!   returned by one reader, and a second reader that misses `t` of those
+//!   servers drops back below threshold (condition 4, new/old inversion).
+
+use std::collections::BTreeMap;
+
+use fastreg_atomicity::history::{OpId, SharedHistory};
+use fastreg_simnet::automaton::{Automaton, Outbox};
+use fastreg_simnet::id::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::protocols::fast_crash::Msg;
+use crate::types::{TaggedValue, Timestamp};
+
+/// A Fig. 2 reader whose predicate is `|maxTSmsg| ≥ k` — deliberately
+/// ignoring `seen`. Exists to be refuted.
+pub struct CountReader {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    /// The count threshold under ablation.
+    pub k: u32,
+    /// Adopted timestamp (still written back, as in Fig. 2).
+    pub max_ts: Timestamp,
+    /// Tags adopted with `max_ts`.
+    pub tags: TaggedValue,
+    /// The read counter.
+    pub r_counter: u64,
+    pending: Option<Pending>,
+}
+
+struct Pending {
+    op: OpId,
+    r_counter: u64,
+    acks: BTreeMap<u32, (Timestamp, TaggedValue)>,
+}
+
+impl CountReader {
+    /// Creates a count-threshold reader.
+    pub fn new(cfg: ClusterConfig, layout: Layout, k: u32, history: SharedHistory) -> Self {
+        CountReader {
+            cfg,
+            layout,
+            history,
+            k,
+            max_ts: Timestamp::ZERO,
+            tags: TaggedValue::INITIAL,
+            r_counter: 0,
+            pending: None,
+        }
+    }
+
+    /// Returns `true` if no read is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for CountReader {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeRead => {
+                assert!(from.is_external(), "reads are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked read() while an operation was pending"
+                );
+                self.r_counter += 1;
+                let op = self
+                    .history
+                    .invoke_read(out.this().index(), out.now().ticks());
+                self.pending = Some(Pending {
+                    op,
+                    r_counter: self.r_counter,
+                    acks: BTreeMap::new(),
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Read {
+                        ts: self.max_ts,
+                        tags: self.tags,
+                        r_counter: self.r_counter,
+                    },
+                );
+            }
+            Msg::ReadAck {
+                ts,
+                tags,
+                r_counter,
+                ..
+            } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let k = self.k;
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if r_counter != pending.r_counter {
+                    return;
+                }
+                pending.acks.insert(server, (ts, tags));
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    let max_ts = done.acks.values().map(|(ts, _)| *ts).max().expect("quorum");
+                    let (_, tags) = *done
+                        .acks
+                        .values()
+                        .find(|(ts, _)| *ts == max_ts)
+                        .expect("max exists");
+                    let sightings =
+                        done.acks.values().filter(|(ts, _)| *ts == max_ts).count() as u32;
+                    // The ablated predicate: count only, no `seen`.
+                    let returned = if sightings >= k { tags.cur } else { tags.prev };
+                    self.max_ts = max_ts;
+                    self.tags = tags;
+                    self.history
+                        .respond(done.op, Some(returned), out.now().ticks());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::RegValue;
+    use crate::protocols::fast_crash::{Server, Writer};
+    use fastreg_atomicity::swmr::check_swmr_atomicity;
+    use fastreg_simnet::runner::SimConfig;
+    use fastreg_simnet::world::World;
+
+    fn cluster(cfg: ClusterConfig, k: u32) -> (World<Msg>, Layout, SharedHistory) {
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let mut world: World<Msg> = World::new(SimConfig::default());
+        world.add_actor(Box::new(Writer::new(cfg, layout, history.clone())));
+        for _ in 0..cfg.r {
+            world.add_actor(Box::new(CountReader::new(cfg, layout, k, history.clone())));
+        }
+        for _ in 0..cfg.s {
+            world.add_actor(Box::new(Server::new(&cfg, layout)));
+        }
+        (world, layout, history)
+    }
+
+    #[test]
+    fn count_reader_looks_fine_on_benign_runs() {
+        // The ablation is plausible: sequential runs behave — that is what
+        // makes the refutation interesting.
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let (mut w, l, h) = cluster(cfg, 3);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 4 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(
+            hist.reads().next().unwrap().returned,
+            Some(RegValue::Val(4))
+        );
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn count_reader_is_one_round() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let (mut w, l, h) = cluster(cfg, 3);
+        w.inject(l.reader(1), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let rd = h.snapshot().reads().next().unwrap().clone();
+        assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
+    }
+}

@@ -1,0 +1,688 @@
+//! The paper's fast SWMR atomic register under arbitrary failures (Fig. 5).
+//!
+//! Requires `S > (R + 2)·t + (R + 1)·b`, where up to `t` servers may fail
+//! and up to `b ≤ t` of them may be malicious. Differences from the
+//! crash-stop algorithm of Fig. 2:
+//!
+//! * The writer **digitally signs** each timestamp (here: the timestamp
+//!   together with its value tags, via [`fastreg_auth`]), giving readers
+//!   Authentication and Unforgeability (§6.1, Properties 1–2). A malicious
+//!   server can replay old signed records or lie in its `seen` set, but it
+//!   cannot invent a newer timestamp.
+//! * The reader **writes back** the highest signed timestamp of its
+//!   previous read in its `read` message (lines 13–14).
+//! * The reader only counts **valid** `readack`s: correctly signed, with
+//!   `ts′ ≥` the written-back timestamp and the reader itself in `seen′`
+//!   (line 15) — anything else is provably from a malicious server and is
+//!   discarded.
+//! * The predicate uses the stricter size family `S − a·t − (a−1)·b`
+//!   (line 19).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fastreg_atomicity::history::{OpId, SharedHistory};
+use fastreg_auth::digest::DigestWriter;
+use fastreg_auth::{KeyId, Signature, SignerHandle, Verifier};
+use fastreg_simnet::automaton::{Automaton, Outbox};
+use fastreg_simnet::id::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::predicate::{predicate_witness, PredicateModel};
+use crate::types::{ClientId, RegValue, TaggedValue, Timestamp, Value};
+
+/// A timestamp with its value tags and the writer's signature: the paper's
+/// `ts_σw`, extended to cover the value tags so that a malicious server
+/// cannot attach a forged value to a genuine timestamp.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SignedRecord {
+    /// The signed timestamp.
+    pub ts: Timestamp,
+    /// The signed value tags.
+    pub tags: TaggedValue,
+    /// The writer's signature; `None` only for the unsigned genesis record
+    /// (the paper: "we assume that this initial value is not digitally
+    /// signed by the writer").
+    pub sig: Option<Signature>,
+}
+
+impl SignedRecord {
+    /// The unsigned initial record `(ts0, ⟨⊥|⊥⟩)`.
+    pub fn genesis() -> Self {
+        SignedRecord {
+            ts: Timestamp::ZERO,
+            tags: TaggedValue::INITIAL,
+            sig: None,
+        }
+    }
+
+    /// Canonical digest of `(ts, tags)` for signing.
+    fn payload_digest(ts: Timestamp, tags: TaggedValue) -> u64 {
+        fn put(w: &mut DigestWriter, v: RegValue) {
+            match v {
+                RegValue::Bottom => w.write_u64(0),
+                RegValue::Val(x) => {
+                    w.write_u64(1);
+                    w.write_u64(x);
+                }
+            }
+        }
+        let mut w = DigestWriter::new();
+        w.write_u64(ts.0);
+        put(&mut w, tags.cur);
+        put(&mut w, tags.prev);
+        w.finish()
+    }
+
+    /// Signs a record with the writer's handle.
+    pub fn signed(ts: Timestamp, tags: TaggedValue, signer: &SignerHandle) -> Self {
+        SignedRecord {
+            ts,
+            tags,
+            sig: Some(signer.sign(Self::payload_digest(ts, tags))),
+        }
+    }
+
+    /// Checks authenticity: the genesis record is valid unsigned; anything
+    /// else must carry a valid writer signature over `(ts, tags)`.
+    pub fn is_valid(&self, verifier: &Verifier, writer_key: KeyId) -> bool {
+        match &self.sig {
+            None => self.ts == Timestamp::ZERO && self.tags == TaggedValue::INITIAL,
+            Some(sig) => verifier.verify(
+                writer_key,
+                Self::payload_digest(self.ts, self.tags),
+                sig,
+            ),
+        }
+    }
+}
+
+/// Message alphabet of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Environment → writer: invoke `write(value)`.
+    InvokeWrite {
+        /// The value to write.
+        value: Value,
+    },
+    /// Environment → reader: invoke `read()`.
+    InvokeRead,
+    /// Writer → servers: `(write, ts_σw, rCounter = 0)`.
+    Write {
+        /// The signed record being written.
+        record: SignedRecord,
+        /// Always 0 for the writer.
+        r_counter: u64,
+    },
+    /// Server → writer.
+    WriteAck {
+        /// The server's current signed record.
+        record: SignedRecord,
+        /// The server's `seen` set.
+        seen: BTreeSet<ClientId>,
+        /// Echo of the counter.
+        r_counter: u64,
+    },
+    /// Reader → servers: `(read, ts_σw, rCounter)` — the written-back
+    /// record of the reader's previous read (lines 13–14).
+    Read {
+        /// The record being written back.
+        record: SignedRecord,
+        /// The reader's read counter.
+        r_counter: u64,
+    },
+    /// Server → reader.
+    ReadAck {
+        /// The server's current signed record.
+        record: SignedRecord,
+        /// The server's `seen` set.
+        seen: BTreeSet<ClientId>,
+        /// Echo of the counter.
+        r_counter: u64,
+    },
+}
+
+/// Server automaton (Fig. 5 lines 23–35). Honest behaviour; malicious
+/// servers are modelled by replacing this automaton (see [`crate::byz`]).
+pub struct Server {
+    layout: Layout,
+    verifier: Verifier,
+    writer_key: KeyId,
+    /// Latest adopted signed record.
+    pub record: SignedRecord,
+    /// Clients answered since adopting `record.ts`.
+    pub seen: BTreeSet<ClientId>,
+    /// Per-client read counters.
+    pub counter: Vec<u64>,
+}
+
+impl Server {
+    /// Creates a server in its initial state.
+    pub fn new(cfg: &ClusterConfig, layout: Layout, verifier: Verifier, writer_key: KeyId) -> Self {
+        Server {
+            layout,
+            verifier,
+            writer_key,
+            record: SignedRecord::genesis(),
+            seen: BTreeSet::new(),
+            counter: vec![0; (cfg.r + 1) as usize],
+        }
+    }
+
+    /// Lines 26–31 with the `receivevalid` filter.
+    fn absorb(&mut self, from: ProcessId, record: SignedRecord, rc: u64) -> bool {
+        if !record.is_valid(&self.verifier, self.writer_key) {
+            return false; // forged or corrupted: ignore entirely
+        }
+        let Some(q) = self.layout.client_pid(from) else {
+            return false;
+        };
+        if rc < self.counter[q.0 as usize] {
+            return false;
+        }
+        if record.ts > self.record.ts {
+            self.record = record;
+            self.seen = BTreeSet::from([q]);
+        } else {
+            self.seen.insert(q);
+        }
+        self.counter[q.0 as usize] = rc;
+        true
+    }
+}
+
+impl Automaton for Server {
+    type Msg = Msg;
+
+    // `SignedRecord` is not `Copy`, so the absorb call cannot live in a
+    // match guard; the nested `if` mirrors Fig. 5's receivevalid guard.
+    #[allow(clippy::collapsible_match)]
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Write { record, r_counter } => {
+                if self.absorb(from, record, r_counter) {
+                    out.send(
+                        from,
+                        Msg::WriteAck {
+                            record: self.record.clone(),
+                            seen: self.seen.clone(),
+                            r_counter,
+                        },
+                    );
+                }
+            }
+            Msg::Read { record, r_counter } => {
+                if self.absorb(from, record, r_counter) {
+                    out.send(
+                        from,
+                        Msg::ReadAck {
+                            record: self.record.clone(),
+                            seen: self.seen.clone(),
+                            r_counter,
+                        },
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct PendingWrite {
+    op: OpId,
+    ts: Timestamp,
+    value: Value,
+    acks: BTreeSet<u32>,
+}
+
+/// Writer automaton (Fig. 5 lines 1–8): signs every record it writes.
+pub struct Writer {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    signer: SignerHandle,
+    verifier: Verifier,
+    /// Timestamp of the next write.
+    pub ts: Timestamp,
+    /// Value of the previous write.
+    pub prev_value: RegValue,
+    pending: Option<PendingWrite>,
+}
+
+impl Writer {
+    /// Creates the writer holding the signing key.
+    pub fn new(
+        cfg: ClusterConfig,
+        layout: Layout,
+        history: SharedHistory,
+        signer: SignerHandle,
+        verifier: Verifier,
+    ) -> Self {
+        Writer {
+            cfg,
+            layout,
+            history,
+            signer,
+            verifier,
+            ts: Timestamp(1),
+            prev_value: RegValue::Bottom,
+            pending: None,
+        }
+    }
+
+    /// Returns `true` if no write is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Writer {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeWrite { value } => {
+                assert!(from.is_external(), "writes are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked write() while an operation was pending"
+                );
+                let op = self
+                    .history
+                    .invoke_write(out.this().index(), value, out.now().ticks());
+                let tags = TaggedValue::new(RegValue::Val(value), self.prev_value);
+                let record = SignedRecord::signed(self.ts, tags, &self.signer);
+                self.pending = Some(PendingWrite {
+                    op,
+                    ts: self.ts,
+                    value,
+                    acks: BTreeSet::new(),
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Write {
+                        record,
+                        r_counter: 0,
+                    },
+                );
+            }
+            Msg::WriteAck {
+                record,
+                r_counter: 0,
+                ..
+            } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                // receivevalid: the ack must echo the exact signed record
+                // of the pending write; anything else is malicious noise.
+                if !record.is_valid(&self.verifier, self.signer.key()) {
+                    return;
+                }
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if record.ts != pending.ts {
+                    return;
+                }
+                pending.acks.insert(server);
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    self.history.respond(done.op, None, out.now().ticks());
+                    self.prev_value = RegValue::Val(done.value);
+                    self.ts = self.ts.next();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A validated `readack` kept until the quorum completes.
+#[derive(Clone, Debug)]
+struct AckInfo {
+    record: SignedRecord,
+    seen: BTreeSet<ClientId>,
+}
+
+struct PendingRead {
+    op: OpId,
+    r_counter: u64,
+    /// The timestamp written back at invocation (validity floor).
+    floor: Timestamp,
+    acks: BTreeMap<u32, AckInfo>,
+    /// Acks discarded as provably malicious, for metrics.
+    discarded: u64,
+}
+
+/// Reader automaton (Fig. 5 lines 9–22).
+pub struct Reader {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    verifier: Verifier,
+    writer_key: KeyId,
+    /// This reader's id in the paper's `pid` mapping.
+    pub me: ClientId,
+    /// Adopted signed record (`maxTS_sgn`), written back on the next read.
+    pub max_rec: SignedRecord,
+    /// The read counter.
+    pub r_counter: u64,
+    pending: Option<PendingRead>,
+    /// Reads that returned the newest value, per witness level.
+    pub witness_histogram: BTreeMap<u32, u64>,
+    /// Reads that fell back to the previous value.
+    pub conservative_reads: u64,
+    /// Total acks discarded by the validity filter.
+    pub discarded_acks: u64,
+}
+
+impl Reader {
+    /// Creates reader `index` (0-based).
+    pub fn new(
+        cfg: ClusterConfig,
+        layout: Layout,
+        index: u32,
+        history: SharedHistory,
+        verifier: Verifier,
+        writer_key: KeyId,
+    ) -> Self {
+        Reader {
+            cfg,
+            layout,
+            history,
+            verifier,
+            writer_key,
+            me: ClientId::reader(index),
+            max_rec: SignedRecord::genesis(),
+            r_counter: 0,
+            pending: None,
+            witness_histogram: BTreeMap::new(),
+            conservative_reads: 0,
+            discarded_acks: 0,
+        }
+    }
+
+    /// Returns `true` if no read is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Line 15's `receivevalid` filter for one ack.
+    fn ack_is_valid(&self, floor: Timestamp, record: &SignedRecord, seen: &BTreeSet<ClientId>) -> bool {
+        record.is_valid(&self.verifier, self.writer_key)
+            && record.ts >= floor
+            && seen.contains(&self.me)
+    }
+
+    /// Lines 17–22.
+    fn decide(&mut self, acks: &BTreeMap<u32, AckInfo>) -> (SignedRecord, RegValue) {
+        let max_ts = acks
+            .values()
+            .map(|a| a.record.ts)
+            .max()
+            .expect("quorum nonempty");
+        let max_msgs: Vec<&AckInfo> = acks.values().filter(|a| a.record.ts == max_ts).collect();
+        let record = max_msgs[0].record.clone();
+        let seens: Vec<BTreeSet<ClientId>> =
+            max_msgs.iter().map(|a| a.seen.clone()).collect();
+        let witness = predicate_witness(
+            self.cfg.s,
+            self.cfg.t,
+            self.cfg.r,
+            PredicateModel::Byzantine { b: self.cfg.b },
+            &seens,
+        );
+        let returned = match witness {
+            Some(a) => {
+                *self.witness_histogram.entry(a).or_insert(0) += 1;
+                record.tags.cur
+            }
+            None => {
+                self.conservative_reads += 1;
+                record.tags.prev
+            }
+        };
+        (record, returned)
+    }
+}
+
+impl Automaton for Reader {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeRead => {
+                assert!(from.is_external(), "reads are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked read() while an operation was pending"
+                );
+                self.r_counter += 1;
+                let op = self
+                    .history
+                    .invoke_read(out.this().index(), out.now().ticks());
+                self.pending = Some(PendingRead {
+                    op,
+                    r_counter: self.r_counter,
+                    floor: self.max_rec.ts,
+                    acks: BTreeMap::new(),
+                    discarded: 0,
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Read {
+                        record: self.max_rec.clone(),
+                        r_counter: self.r_counter,
+                    },
+                );
+            }
+            Msg::ReadAck {
+                record,
+                seen,
+                r_counter,
+            } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_ref() else {
+                    return;
+                };
+                if r_counter != pending.r_counter {
+                    return;
+                }
+                if !self.ack_is_valid(pending.floor, &record, &seen) {
+                    self.discarded_acks += 1;
+                    if let Some(p) = self.pending.as_mut() {
+                        p.discarded += 1;
+                    }
+                    return;
+                }
+                let pending = self.pending.as_mut().expect("checked above");
+                pending.acks.entry(server).or_insert(AckInfo { record, seen });
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    let (record, returned) = self.decide(&done.acks);
+                    self.max_rec = record;
+                    self.history
+                        .respond(done.op, Some(returned), out.now().ticks());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg_atomicity::swmr::check_swmr_atomicity;
+    use fastreg_auth::Keychain;
+    use fastreg_simnet::runner::SimConfig;
+    use fastreg_simnet::world::World;
+
+    /// Builds an all-honest cluster.
+    fn cluster(cfg: ClusterConfig, seed: u64) -> (World<Msg>, Layout, SharedHistory) {
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let mut chain = Keychain::new(seed ^ 0xdead);
+        let signer = chain.issue();
+        let writer_key = signer.key();
+        let verifier = chain.verifier();
+        let mut world: World<Msg> = World::new(SimConfig::default().with_seed(seed));
+        world.add_actor(Box::new(Writer::new(
+            cfg,
+            layout,
+            history.clone(),
+            signer,
+            verifier.clone(),
+        )));
+        for i in 0..cfg.r {
+            world.add_actor(Box::new(Reader::new(
+                cfg,
+                layout,
+                i,
+                history.clone(),
+                verifier.clone(),
+                writer_key,
+            )));
+        }
+        for _ in 0..cfg.s {
+            world.add_actor(Box::new(Server::new(&cfg, layout, verifier.clone(), writer_key)));
+        }
+        (world, layout, history)
+    }
+
+    /// S = 6, t = 1, b = 1, R = 1: 6 > 3·1 + 2·1 = 5 → feasible.
+    fn cfg_byz() -> ClusterConfig {
+        ClusterConfig::byzantine(6, 1, 1, 1).unwrap()
+    }
+
+    #[test]
+    fn config_is_feasible() {
+        assert!(cfg_byz().fast_feasible());
+    }
+
+    #[test]
+    fn write_then_read_honest_run() {
+        let (mut w, l, h) = cluster(cfg_byz(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 31 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(
+            hist.reads().next().unwrap().returned,
+            Some(RegValue::Val(31))
+        );
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn operations_are_fast() {
+        let (mut w, l, h) = cluster(cfg_byz(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        for op in hist.complete_ops() {
+            assert_eq!(op.responded_at.unwrap() - op.invoked_at, 2);
+        }
+    }
+
+    #[test]
+    fn genesis_record_is_valid_unsigned_but_not_tamperable() {
+        let mut chain = Keychain::new(1);
+        let signer = chain.issue();
+        let v = chain.verifier();
+        let g = SignedRecord::genesis();
+        assert!(g.is_valid(&v, signer.key()));
+        // A "genesis" with a nonzero ts is rejected.
+        let fake = SignedRecord {
+            ts: Timestamp(3),
+            tags: TaggedValue::INITIAL,
+            sig: None,
+        };
+        assert!(!fake.is_valid(&v, signer.key()));
+    }
+
+    #[test]
+    fn forged_records_are_rejected() {
+        let mut chain = Keychain::new(1);
+        let signer = chain.issue();
+        let v = chain.verifier();
+        let good = SignedRecord::signed(
+            Timestamp(5),
+            TaggedValue::new(RegValue::Val(9), RegValue::Bottom),
+            &signer,
+        );
+        assert!(good.is_valid(&v, signer.key()));
+        // Tamper with the timestamp.
+        let mut evil = good.clone();
+        evil.ts = Timestamp(6);
+        assert!(!evil.is_valid(&v, signer.key()));
+        // Tamper with the value.
+        let mut evil = good;
+        evil.tags = TaggedValue::new(RegValue::Val(10), RegValue::Bottom);
+        assert!(!evil.is_valid(&v, signer.key()));
+    }
+
+    #[test]
+    fn sequence_of_ops_is_atomic_honest() {
+        let (mut w, l, h) = cluster(cfg_byz(), 2);
+        for v in 1..=4 {
+            w.inject(l.writer(0), Msg::InvokeWrite { value: v });
+            w.run_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_until_quiescent();
+        }
+        let hist = h.snapshot();
+        check_swmr_atomicity(&hist).unwrap();
+        let last = hist.reads().last().unwrap();
+        assert_eq!(last.returned, Some(RegValue::Val(4)));
+    }
+
+    #[test]
+    fn random_concurrent_schedules_are_atomic_honest() {
+        for seed in 0..20 {
+            let (mut w, l, h) = cluster(cfg_byz(), seed);
+            w.arm_crash_after_sends(l.writer(0), (seed % 7) as usize);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            let hist = h.snapshot();
+            check_swmr_atomicity(&hist)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", hist.render()));
+        }
+    }
+
+    #[test]
+    fn reader_write_back_teaches_servers() {
+        // After reader 0 reads value 1, a server that never saw the write
+        // learns it from the reader's next read message (lines 13–14).
+        let (mut w, l, _) = cluster(cfg_byz(), 1);
+        let s5 = l.server(5);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+        // The write never reaches server 5.
+        w.drop_matching(|e| e.to == s5);
+        w.run_until_quiescent();
+        assert_eq!(
+            w.with_actor::<Server, _, _>(s5, |s| s.record.ts).unwrap(),
+            Timestamp::ZERO
+        );
+        // First read adopts ts1; second read writes it back, signed.
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        assert_eq!(
+            w.with_actor::<Server, _, _>(s5, |s| s.record.ts).unwrap(),
+            Timestamp(1)
+        );
+    }
+}

@@ -1,0 +1,649 @@
+//! The paper's fast SWMR atomic register for the crash-stop model (Fig. 2).
+//!
+//! Requires `R < S/t − 2` (equivalently `S > (R + 2)·t`). Both operations
+//! complete in one communication round-trip:
+//!
+//! * **write(v)** — the writer sends `(write, ts, tags, 0)` to all servers
+//!   and returns after `S − t` `writeack`s (lines 4–8). Being the only
+//!   writer, it knows the latest timestamp and just increments it.
+//! * **read()** — the reader sends `(read, ts, rCounter)` carrying its
+//!   previously adopted timestamp, collects `S − t` `readack`s, computes
+//!   `maxTS`, and returns the value of `maxTS` if the safety predicate of
+//!   line 19 holds, else the value of `maxTS − 1` (lines 12–22). The
+//!   predicate lives in [`crate::predicate`].
+//!
+//! Servers (lines 23–35) keep, besides the latest timestamp, the set
+//! `seen` of clients they have answered since last adopting a timestamp —
+//! the extra information that makes the one-round read possible — and a
+//! per-client counter to avoid serving stale read incarnations.
+//!
+//! Values ride along as the two-tag pair of §4 ([`TaggedValue`]): each
+//! write carries its own value and its predecessor's, so "return
+//! `maxTS − 1`" is a local tag lookup, not another round.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fastreg_atomicity::history::{OpId, SharedHistory};
+use fastreg_simnet::automaton::{Automaton, Outbox};
+use fastreg_simnet::id::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::predicate::{predicate_witness, PredicateModel};
+use crate::types::{ClientId, RegValue, TaggedValue, Timestamp, Value};
+
+/// Message alphabet of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Environment → writer: invoke `write(value)`.
+    InvokeWrite {
+        /// The value to write.
+        value: Value,
+    },
+    /// Environment → reader: invoke `read()`.
+    InvokeRead,
+    /// Writer → servers: `(write, ts, rCounter = 0)` with value tags.
+    Write {
+        /// The write's timestamp.
+        ts: Timestamp,
+        /// Value of this write and of its predecessor.
+        tags: TaggedValue,
+        /// Always 0 for the writer; kept for message-shape fidelity.
+        r_counter: u64,
+    },
+    /// Server → writer: `(writeack, ts, seen, rCounter)`.
+    WriteAck {
+        /// The server's timestamp at reply time.
+        ts: Timestamp,
+        /// The server's `seen` set (unused by the writer; sent for
+        /// fidelity with Fig. 2 line 35).
+        seen: BTreeSet<ClientId>,
+        /// Echo of the request counter.
+        r_counter: u64,
+    },
+    /// Reader → servers: `(read, ts, rCounter)` carrying the reader's
+    /// adopted timestamp and its tags (the value-attached variant of §4
+    /// needs the tags so a server that adopts the reader's newer timestamp
+    /// also learns its value).
+    Read {
+        /// The reader's adopted timestamp (`maxTS` of its previous read).
+        ts: Timestamp,
+        /// Tags associated with `ts`.
+        tags: TaggedValue,
+        /// The reader's read counter.
+        r_counter: u64,
+    },
+    /// Server → reader: `(readack, ts, seen, rCounter)` with value tags.
+    ReadAck {
+        /// The server's timestamp at reply time.
+        ts: Timestamp,
+        /// Tags associated with `ts`.
+        tags: TaggedValue,
+        /// Clients this server has answered since adopting `ts`.
+        seen: BTreeSet<ClientId>,
+        /// Echo of the request counter.
+        r_counter: u64,
+    },
+}
+
+/// Server automaton (Fig. 2 lines 23–35).
+pub struct Server {
+    layout: Layout,
+    /// Latest adopted timestamp.
+    pub ts: Timestamp,
+    /// Value tags adopted with `ts`.
+    pub tags: TaggedValue,
+    /// Clients answered since adopting `ts` (including the adopter).
+    pub seen: BTreeSet<ClientId>,
+    /// `counter[pid]`: latest read counter seen per client (index 0 is the
+    /// writer and stays 0).
+    pub counter: Vec<u64>,
+}
+
+impl Server {
+    /// Creates a server in its initial state (line 25).
+    pub fn new(cfg: &ClusterConfig, layout: Layout) -> Self {
+        Server {
+            layout,
+            ts: Timestamp::ZERO,
+            tags: TaggedValue::INITIAL,
+            seen: BTreeSet::new(),
+            counter: vec![0; (cfg.r + 1) as usize],
+        }
+    }
+
+    /// Core of lines 26–31, shared by both message kinds. Returns `false`
+    /// if the message must be ignored (stale counter or non-client sender).
+    fn absorb(&mut self, from: ProcessId, ts: Timestamp, tags: TaggedValue, rc: u64) -> bool {
+        let Some(q) = self.layout.client_pid(from) else {
+            return false; // not a client of this register
+        };
+        if rc < self.counter[q.0 as usize] {
+            return false; // stale incarnation: the upon-clause does not fire
+        }
+        if ts > self.ts {
+            self.ts = ts;
+            self.tags = tags;
+            self.seen = BTreeSet::from([q]);
+        } else {
+            self.seen.insert(q);
+        }
+        self.counter[q.0 as usize] = rc;
+        true
+    }
+}
+
+impl Automaton for Server {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Write { ts, tags, r_counter } if self.absorb(from, ts, tags, r_counter) => {
+                out.send(
+                    from,
+                    Msg::WriteAck {
+                        ts: self.ts,
+                        seen: self.seen.clone(),
+                        r_counter,
+                    },
+                );
+            }
+            Msg::Read { ts, tags, r_counter } if self.absorb(from, ts, tags, r_counter) => {
+                out.send(
+                    from,
+                    Msg::ReadAck {
+                        ts: self.ts,
+                        tags: self.tags,
+                        seen: self.seen.clone(),
+                        r_counter,
+                    },
+                );
+            }
+            // Servers ignore anything else (acks are never addressed to
+            // them; invocations target clients).
+            _ => {}
+        }
+    }
+}
+
+struct PendingWrite {
+    op: OpId,
+    ts: Timestamp,
+    value: Value,
+    acks: BTreeSet<u32>,
+}
+
+/// Writer automaton (Fig. 2 lines 1–8).
+pub struct Writer {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    /// Timestamp of the next write (line 3 initializes it to 1).
+    pub ts: Timestamp,
+    /// Value of the previous write, for the two-tag scheme of §4.
+    pub prev_value: RegValue,
+    pending: Option<PendingWrite>,
+    /// Completed writes, for tests and metrics.
+    pub completed_writes: u64,
+}
+
+impl Writer {
+    /// Creates the writer in its initial state.
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Writer {
+            cfg,
+            layout,
+            history,
+            ts: Timestamp(1),
+            prev_value: RegValue::Bottom,
+            pending: None,
+            completed_writes: 0,
+        }
+    }
+
+    /// Returns `true` if no write is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Writer {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeWrite { value } => {
+                assert!(from.is_external(), "writes are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked write() while an operation was pending"
+                );
+                let op = self
+                    .history
+                    .invoke_write(out.this().index(), value, out.now().ticks());
+                let tags = TaggedValue::new(RegValue::Val(value), self.prev_value);
+                self.pending = Some(PendingWrite {
+                    op,
+                    ts: self.ts,
+                    value,
+                    acks: BTreeSet::new(),
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Write {
+                        ts: self.ts,
+                        tags,
+                        r_counter: 0,
+                    },
+                );
+            }
+            Msg::WriteAck { ts, r_counter: 0, .. } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if ts != pending.ts {
+                    return; // ack for an older write
+                }
+                pending.acks.insert(server);
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    self.history.respond(done.op, None, out.now().ticks());
+                    self.prev_value = RegValue::Val(done.value);
+                    self.ts = self.ts.next();
+                    self.completed_writes += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// A received `readack`, kept until the quorum completes.
+#[derive(Clone, Debug)]
+struct AckInfo {
+    ts: Timestamp,
+    tags: TaggedValue,
+    seen: BTreeSet<ClientId>,
+}
+
+struct PendingRead {
+    op: OpId,
+    r_counter: u64,
+    acks: BTreeMap<u32, AckInfo>,
+}
+
+/// Reader automaton (Fig. 2 lines 9–22).
+pub struct Reader {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    /// Adopted timestamp (`maxTS` of the previous read; line 13 writes it
+    /// back in the next `read` message).
+    pub max_ts: Timestamp,
+    /// Tags adopted with `max_ts`.
+    pub tags: TaggedValue,
+    /// The read counter `rCounter`.
+    pub r_counter: u64,
+    pending: Option<PendingRead>,
+    /// Reads that returned `maxTS` (predicate held), per witness level `a`.
+    pub witness_histogram: BTreeMap<u32, u64>,
+    /// Reads that returned `maxTS − 1` (predicate failed).
+    pub conservative_reads: u64,
+}
+
+impl Reader {
+    /// Creates reader `index` (0-based) in its initial state (line 11).
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Reader {
+            cfg,
+            layout,
+            history,
+            max_ts: Timestamp::ZERO,
+            tags: TaggedValue::INITIAL,
+            r_counter: 0,
+            pending: None,
+            witness_histogram: BTreeMap::new(),
+            conservative_reads: 0,
+        }
+    }
+
+    /// Returns `true` if no read is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Line 17–22: given the quorum of acks, compute `maxTS`, evaluate the
+    /// predicate, and pick the returned value.
+    fn decide(&mut self, acks: &BTreeMap<u32, AckInfo>) -> (Timestamp, TaggedValue, RegValue) {
+        let max_ts = acks.values().map(|a| a.ts).max().expect("quorum nonempty");
+        let max_msgs: Vec<&AckInfo> = acks.values().filter(|a| a.ts == max_ts).collect();
+        let tags = max_msgs[0].tags;
+        let seens: Vec<BTreeSet<ClientId>> =
+            max_msgs.iter().map(|a| a.seen.clone()).collect();
+        let witness = predicate_witness(
+            self.cfg.s,
+            self.cfg.t,
+            self.cfg.r,
+            PredicateModel::Crash,
+            &seens,
+        );
+        let returned = match witness {
+            Some(a) => {
+                *self.witness_histogram.entry(a).or_insert(0) += 1;
+                tags.cur
+            }
+            None => {
+                self.conservative_reads += 1;
+                tags.prev
+            }
+        };
+        (max_ts, tags, returned)
+    }
+}
+
+impl Automaton for Reader {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeRead => {
+                assert!(from.is_external(), "reads are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked read() while an operation was pending"
+                );
+                self.r_counter += 1;
+                let op = self
+                    .history
+                    .invoke_read(out.this().index(), out.now().ticks());
+                self.pending = Some(PendingRead {
+                    op,
+                    r_counter: self.r_counter,
+                    acks: BTreeMap::new(),
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Read {
+                        ts: self.max_ts,
+                        tags: self.tags,
+                        r_counter: self.r_counter,
+                    },
+                );
+            }
+            Msg::ReadAck {
+                ts,
+                tags,
+                seen,
+                r_counter,
+            } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if r_counter != pending.r_counter {
+                    return; // ack from a previous read of ours
+                }
+                pending.acks.insert(server, AckInfo { ts, tags, seen });
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    let (max_ts, tags, returned) = self.decide(&done.acks);
+                    self.max_ts = max_ts;
+                    self.tags = tags;
+                    self.history
+                        .respond(done.op, Some(returned), out.now().ticks());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg_atomicity::swmr::check_swmr_atomicity;
+    use fastreg_simnet::runner::SimConfig;
+    use fastreg_simnet::world::World;
+
+    /// Builds a full cluster in a fresh world. Returns the world, layout
+    /// and shared history.
+    fn cluster(cfg: ClusterConfig, seed: u64) -> (World<Msg>, Layout, SharedHistory) {
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let mut world: World<Msg> = World::new(SimConfig::default().with_seed(seed));
+        world.add_actor(Box::new(Writer::new(cfg, layout, history.clone())));
+        for _ in 0..cfg.r {
+            world.add_actor(Box::new(Reader::new(cfg, layout, history.clone())));
+        }
+        for _ in 0..cfg.s {
+            world.add_actor(Box::new(Server::new(&cfg, layout)));
+        }
+        (world, layout, history)
+    }
+
+    fn cfg512() -> ClusterConfig {
+        ClusterConfig::crash_stop(5, 1, 2).unwrap()
+    }
+
+    #[test]
+    fn sequential_write_then_read() {
+        let (mut w, l, h) = cluster(cfg512(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 42 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(hist.complete_ops().count(), 2);
+        let read = hist.reads().next().unwrap();
+        assert_eq!(read.returned, Some(RegValue::Val(42)));
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn read_before_any_write_returns_bottom() {
+        let (mut w, l, h) = cluster(cfg512(), 1);
+        w.inject(l.reader(1), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        let read = hist.reads().next().unwrap();
+        assert_eq!(read.returned, Some(RegValue::Bottom));
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn operations_are_fast_one_round_trip() {
+        // With unit delays, an invocation at time T completes at exactly
+        // T + 2 (request + reply): one round trip, the definition of fast.
+        let (mut w, l, h) = cluster(cfg512(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 7 });
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        let wr = hist.writes().next().unwrap();
+        assert_eq!(wr.responded_at.unwrap() - wr.invoked_at, 2);
+
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        let rd = hist.reads().next().unwrap();
+        assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
+    }
+
+    #[test]
+    fn message_complexity_is_2s_per_op() {
+        let (mut w, l, _) = cluster(cfg512(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 7 });
+        w.run_until_quiescent();
+        // S write + S writeack.
+        assert_eq!(w.stats().sent, 10);
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        assert_eq!(w.stats().sent, 20);
+    }
+
+    #[test]
+    fn sequence_of_writes_and_reads_is_atomic() {
+        let (mut w, l, h) = cluster(cfg512(), 3);
+        for v in 1..=5 {
+            w.inject(l.writer(0), Msg::InvokeWrite { value: v * 10 });
+            w.run_until_quiescent();
+            w.inject(l.reader((v % 2) as u32), Msg::InvokeRead);
+            w.run_until_quiescent();
+        }
+        let hist = h.snapshot();
+        assert_eq!(hist.complete_ops().count(), 10);
+        for (i, rd) in hist.reads().enumerate() {
+            assert_eq!(rd.returned, Some(RegValue::Val(((i as u64) + 1) * 10)));
+        }
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn incomplete_write_read_by_first_reader_is_propagated_logically() {
+        // The §1 scenario: write(1) reaches only one server; the first
+        // reader must still return something atomic. With the predicate, a
+        // single-server sighting fails, so the read returns the previous
+        // value (⊥) — which is atomic because the write is incomplete.
+        let (mut w, l, h) = cluster(cfg512(), 1);
+        // Writer crashes after sending to exactly 1 server.
+        w.arm_crash_after_sends(l.writer(0), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        let rd = hist.reads().next().unwrap();
+        assert_eq!(rd.returned, Some(RegValue::Bottom));
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn reader_state_advances_even_on_conservative_reads() {
+        let (mut w, l, _) = cluster(cfg512(), 1);
+        w.arm_crash_after_sends(l.writer(0), 2);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        // Reader adopted ts1 even though it returned ⊥ (the prev tag).
+        let (ts, conservative) = w
+            .with_actor::<Reader, _, _>(l.reader(0), |r| (r.max_ts, r.conservative_reads))
+            .unwrap();
+        assert_eq!(conservative, 1);
+        assert!(ts >= Timestamp(1));
+    }
+
+    #[test]
+    fn predicate_histogram_records_witness_levels() {
+        let (mut w, l, _) = cluster(cfg512(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = w
+            .with_actor::<Reader, _, _>(l.reader(0), |r| r.witness_histogram.clone())
+            .unwrap();
+        // Write completed at all 5 servers; read misses at most t = 1, so
+        // 4 acks carry ts1 with w in seen → witness a ∈ {1, 2}.
+        assert_eq!(hist.values().sum::<u64>(), 1);
+        assert!(hist.keys().all(|&a| a <= 2));
+    }
+
+    #[test]
+    fn t_crashed_servers_do_not_block_termination() {
+        let cfg = cfg512();
+        let (mut w, l, h) = cluster(cfg, 5);
+        w.crash(l.server(4));
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 3 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.inject(l.reader(1), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(hist.complete_ops().count(), 3);
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn stale_read_incarnations_are_ignored_by_servers() {
+        let (mut w, l, _) = cluster(cfg512(), 1);
+        let s0 = l.server(0);
+        let reader = l.reader(0);
+        // First read: its message to s0 stays in transit.
+        w.inject(reader, Msg::InvokeRead);
+        w.deliver_matching(|e| e.to != s0); // reads reach servers 1..4
+        w.deliver_matching(|e| e.to == reader); // 4 acks: quorum, completes
+        // Second read: deliver its messages everywhere (s0's counter for
+        // the reader becomes 2), complete it.
+        w.inject(reader, Msg::InvokeRead);
+        w.deliver_matching(|e| {
+            matches!(e.msg, Msg::Read { r_counter: 2, .. })
+        });
+        w.deliver_matching(|e| e.to == reader);
+        assert_eq!(
+            w.with_actor::<Server, _, _>(s0, |s| s.counter[1]).unwrap(),
+            2
+        );
+        // Finally deliver the stale r_counter = 1 read to s0: the server
+        // must ignore it entirely — no reply is sent.
+        let before = w.pending_len();
+        let delivered = w.deliver_matching(|e| {
+            e.to == s0 && matches!(e.msg, Msg::Read { r_counter: 1, .. })
+        });
+        assert_eq!(delivered, 1);
+        assert_eq!(w.pending_len(), before - 1); // consumed, nothing emitted
+        assert_eq!(
+            w.with_actor::<Server, _, _>(s0, |s| s.counter[1]).unwrap(),
+            2
+        );
+    }
+
+    #[test]
+    fn concurrent_reads_during_write_are_atomic() {
+        for seed in 0..20 {
+            let (mut w, l, h) = cluster(cfg512(), seed);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 5 });
+            // Interleave: both readers read while the write is in flight.
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.inject(l.reader(1), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            let hist = h.snapshot();
+            assert_eq!(hist.complete_ops().count(), 3, "seed {seed}");
+            check_swmr_atomicity(&hist)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", hist.render()));
+        }
+    }
+
+    #[test]
+    fn random_schedules_with_mid_broadcast_crashes_stay_atomic() {
+        for seed in 0..30 {
+            let (mut w, l, h) = cluster(cfg512(), seed);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            w.run_random_until_quiescent();
+            // Crash the writer mid-broadcast of its second write.
+            w.arm_crash_after_sends(l.writer(0), (seed % 6) as usize);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 2 });
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            w.inject(l.reader(1), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            let hist = h.snapshot();
+            check_swmr_atomicity(&hist)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", hist.render()));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "while an operation was pending")]
+    fn overlapping_ops_by_one_client_panic() {
+        let (mut w, l, _) = cluster(cfg512(), 1);
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.inject(l.reader(0), Msg::InvokeRead);
+    }
+}

@@ -1,0 +1,413 @@
+//! The fast *regular* register of §8.
+//!
+//! A regular register (Lamport) relaxes atomicity: a read concurrent with
+//! writes may return the last written value or any concurrently written
+//! one, and different readers may disagree on the order (new/old
+//! inversions are legal). Under that weaker contract a fast implementation
+//! exists whenever `t < S/2`, for **any** number of readers: the read
+//! simply queries `S − t` servers and returns the value with the highest
+//! timestamp — no predicate, no write-back.
+//!
+//! The experiments (E7) run this protocol in configurations where the fast
+//! *atomic* register is impossible and show that (a) regularity always
+//! holds, and (b) atomicity violations (new/old inversions) actually occur
+//! — exhibiting the §8 trade-off.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fastreg_atomicity::history::{OpId, SharedHistory};
+use fastreg_simnet::automaton::{Automaton, Outbox};
+use fastreg_simnet::id::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::types::{RegValue, Timestamp, Value};
+
+/// Message alphabet of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Environment → writer: invoke `write(value)`.
+    InvokeWrite {
+        /// The value to write.
+        value: Value,
+    },
+    /// Environment → reader: invoke `read()`.
+    InvokeRead,
+    /// Writer → servers.
+    Write {
+        /// The write's timestamp.
+        ts: Timestamp,
+        /// The written value.
+        value: Value,
+    },
+    /// Server → writer.
+    WriteAck {
+        /// Echo of the stored timestamp.
+        ts: Timestamp,
+    },
+    /// Reader → servers.
+    Read {
+        /// The reader's operation counter.
+        op_counter: u64,
+    },
+    /// Server → reader.
+    ReadAck {
+        /// Echo of the operation counter.
+        op_counter: u64,
+        /// The server's timestamp.
+        ts: Timestamp,
+        /// The server's value.
+        value: RegValue,
+    },
+}
+
+/// Server: stores the highest `(ts, value)`.
+pub struct Server {
+    /// Current timestamp.
+    pub ts: Timestamp,
+    /// Current value.
+    pub value: RegValue,
+}
+
+impl Server {
+    /// Creates a server holding `(ts0, ⊥)`.
+    pub fn new() -> Self {
+        Server {
+            ts: Timestamp::ZERO,
+            value: RegValue::Bottom,
+        }
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Automaton for Server {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Write { ts, value } => {
+                if ts > self.ts {
+                    self.ts = ts;
+                    self.value = RegValue::Val(value);
+                }
+                out.send(from, Msg::WriteAck { ts });
+            }
+            Msg::Read { op_counter } => {
+                out.send(
+                    from,
+                    Msg::ReadAck {
+                        op_counter,
+                        ts: self.ts,
+                        value: self.value,
+                    },
+                );
+            }
+            _ => {}
+        }
+    }
+}
+
+struct PendingWrite {
+    op: OpId,
+    ts: Timestamp,
+    acks: BTreeSet<u32>,
+}
+
+/// Writer: one-round writes, as in ABD.
+pub struct Writer {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    /// Timestamp of the next write.
+    pub ts: Timestamp,
+    pending: Option<PendingWrite>,
+}
+
+impl Writer {
+    /// Creates the writer in its initial state.
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Writer {
+            cfg,
+            layout,
+            history,
+            ts: Timestamp(1),
+            pending: None,
+        }
+    }
+
+    /// Returns `true` if no write is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Writer {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeWrite { value } => {
+                assert!(from.is_external(), "writes are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked write() while an operation was pending"
+                );
+                let op = self
+                    .history
+                    .invoke_write(out.this().index(), value, out.now().ticks());
+                self.pending = Some(PendingWrite {
+                    op,
+                    ts: self.ts,
+                    acks: BTreeSet::new(),
+                });
+                out.broadcast(self.layout.servers(), Msg::Write { ts: self.ts, value });
+            }
+            Msg::WriteAck { ts } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if ts != pending.ts {
+                    return;
+                }
+                pending.acks.insert(server);
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    self.history.respond(done.op, None, out.now().ticks());
+                    self.ts = self.ts.next();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct PendingRead {
+    op: OpId,
+    op_counter: u64,
+    acks: BTreeMap<u32, (Timestamp, RegValue)>,
+}
+
+/// Reader: one round; returns the max-timestamp value. No predicate — this
+/// is what makes it regular rather than atomic.
+pub struct Reader {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    op_counter: u64,
+    pending: Option<PendingRead>,
+}
+
+impl Reader {
+    /// Creates a reader in its initial state.
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Reader {
+            cfg,
+            layout,
+            history,
+            op_counter: 0,
+            pending: None,
+        }
+    }
+
+    /// Returns `true` if no read is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Reader {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeRead => {
+                assert!(from.is_external(), "reads are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked read() while an operation was pending"
+                );
+                self.op_counter += 1;
+                let op = self
+                    .history
+                    .invoke_read(out.this().index(), out.now().ticks());
+                self.pending = Some(PendingRead {
+                    op,
+                    op_counter: self.op_counter,
+                    acks: BTreeMap::new(),
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Read {
+                        op_counter: self.op_counter,
+                    },
+                );
+            }
+            Msg::ReadAck {
+                op_counter,
+                ts,
+                value,
+            } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if op_counter != pending.op_counter {
+                    return;
+                }
+                pending.acks.insert(server, (ts, value));
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    let (_, returned) = *done
+                        .acks
+                        .values()
+                        .max_by_key(|(ts, _)| *ts)
+                        .expect("quorum nonempty");
+                    self.history
+                        .respond(done.op, Some(returned), out.now().ticks());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg_atomicity::regularity::check_swmr_regularity;
+    use fastreg_atomicity::swmr::check_swmr_atomicity;
+    use fastreg_simnet::runner::SimConfig;
+    use fastreg_simnet::world::World;
+
+    fn cluster(cfg: ClusterConfig, seed: u64) -> (World<Msg>, Layout, SharedHistory) {
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let mut world: World<Msg> = World::new(SimConfig::default().with_seed(seed));
+        world.add_actor(Box::new(Writer::new(cfg, layout, history.clone())));
+        for _ in 0..cfg.r {
+            world.add_actor(Box::new(Reader::new(cfg, layout, history.clone())));
+        }
+        for _ in 0..cfg.s {
+            world.add_actor(Box::new(Server::new()));
+        }
+        (world, layout, history)
+    }
+
+    /// Many readers at majority resilience — far beyond the atomic fast
+    /// bound.
+    fn cfg_many_readers() -> ClusterConfig {
+        ClusterConfig::crash_stop(5, 2, 6).unwrap()
+    }
+
+    #[test]
+    fn write_then_read() {
+        let (mut w, l, h) = cluster(cfg_many_readers(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 5 });
+        w.run_until_quiescent();
+        w.inject(l.reader(3), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(
+            hist.reads().next().unwrap().returned,
+            Some(RegValue::Val(5))
+        );
+        check_swmr_regularity(&hist).unwrap();
+    }
+
+    #[test]
+    fn read_is_one_round_trip() {
+        let (mut w, l, h) = cluster(cfg_many_readers(), 1);
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        let rd = hist.reads().next().unwrap();
+        assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
+    }
+
+    #[test]
+    fn random_schedules_are_always_regular() {
+        for seed in 0..30 {
+            let (mut w, l, h) = cluster(cfg_many_readers(), seed);
+            w.arm_crash_after_sends(l.writer(0), (seed % 6) as usize);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            for i in 0..6 {
+                w.inject(l.reader(i), Msg::InvokeRead);
+            }
+            w.run_random_until_quiescent();
+            let hist = h.snapshot();
+            check_swmr_regularity(&hist)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", hist.render()));
+        }
+    }
+
+    #[test]
+    fn new_old_inversion_is_reachable() {
+        // §8's trade-off, exhibited: an incomplete write seen by the first
+        // reader and missed by the second. Scripted schedule: write reaches
+        // exactly one server in reader 0's quorum and no server of reader
+        // 1's quorum.
+        let cfg = ClusterConfig::crash_stop(5, 2, 2).unwrap();
+        let (mut w, l, h) = cluster(cfg, 1);
+        // write(1) reaches only server 0; writer crashes mid-broadcast.
+        w.arm_crash_after_sends(l.writer(0), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+        w.deliver_matching(|e| matches!(e.msg, Msg::Write { .. }));
+
+        // Reader 0 reads from servers {0, 1, 2}: sees ts1 → returns 1.
+        w.advance_to(fastreg_simnet::time::SimTime::from_ticks(10));
+        w.inject(l.reader(0), Msg::InvokeRead);
+        for j in [0, 1, 2] {
+            w.deliver_matching(|e| {
+                e.to == l.server(j) && matches!(e.msg, Msg::Read { .. })
+            });
+        }
+        w.deliver_matching(|e| e.to == l.reader(0));
+
+        // Reader 1 reads from servers {2, 3, 4}, strictly after reader 0's
+        // read completed: all still at ts0 → ⊥.
+        w.advance_to(fastreg_simnet::time::SimTime::from_ticks(20));
+        w.inject(l.reader(1), Msg::InvokeRead);
+        for j in [2, 3, 4] {
+            w.deliver_matching(|e| {
+                e.to == l.server(j) && matches!(e.msg, Msg::Read { .. })
+            });
+        }
+        w.deliver_matching(|e| e.to == l.reader(1));
+
+        let hist = h.snapshot();
+        let returns: Vec<_> = hist.reads().map(|r| r.returned).collect();
+        assert_eq!(
+            returns,
+            vec![Some(RegValue::Val(1)), Some(RegValue::Bottom)]
+        );
+        // Regular: yes. Atomic: no.
+        check_swmr_regularity(&hist).unwrap();
+        assert!(check_swmr_atomicity(&hist).is_err());
+    }
+
+    #[test]
+    fn survives_t_crashes() {
+        let (mut w, l, h) = cluster(cfg_many_readers(), 1);
+        w.crash(l.server(0));
+        w.crash(l.server(1));
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 8 });
+        w.run_until_quiescent();
+        w.inject(l.reader(5), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(hist.complete_ops().count(), 2);
+        check_swmr_regularity(&hist).unwrap();
+    }
+}

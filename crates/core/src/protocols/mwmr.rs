@@ -1,0 +1,761 @@
+//! Multi-writer registers (§7).
+//!
+//! The paper proves (Proposition 11) that **no** fast MWMR atomic register
+//! exists, even with `W = R = 2`, `t = 1`, crash-only failures. Two
+//! implementations live here:
+//!
+//! * [`abd`]: the correct two-round MWMR register in the style of
+//!   Lynch–Shvartsman: writers first *query* a quorum to discover the
+//!   highest timestamp, then store `(max + 1, writer-id)`; readers query
+//!   and write back. Nothing about it is fast — as the theorem demands.
+//! * [`naive_fast`]: a one-round-everything MWMR protocol that looks
+//!   plausible (writers use local sequence numbers, readers return the
+//!   max-timestamp value). It is **deliberately incorrect**: the §7
+//!   adversary (`fastreg-adversary`) drives it into the paper's `run′′`
+//!   violation. It exists to make the impossibility executable, not to be
+//!   used.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fastreg_atomicity::history::{OpId, SharedHistory};
+use fastreg_simnet::automaton::{Automaton, Outbox};
+use fastreg_simnet::id::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::types::{RegValue, Value, WTimestamp};
+
+/// The correct two-round MWMR register.
+pub mod abd {
+    use super::*;
+
+    /// Message alphabet.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Msg {
+        /// Environment → writer: invoke `write(value)`.
+        InvokeWrite {
+            /// The value to write.
+            value: Value,
+        },
+        /// Environment → reader: invoke `read()`.
+        InvokeRead,
+        /// Client → servers: discover the highest timestamp/value.
+        Query {
+            /// The client's operation counter.
+            op_counter: u64,
+        },
+        /// Server → client.
+        QueryAck {
+            /// Echo of the counter.
+            op_counter: u64,
+            /// The server's timestamp.
+            ts: WTimestamp,
+            /// The server's value.
+            value: RegValue,
+        },
+        /// Client → servers: store a timestamped value (a writer's new
+        /// value, or a reader's write-back).
+        Store {
+            /// Echo of the counter.
+            op_counter: u64,
+            /// The timestamp to store.
+            ts: WTimestamp,
+            /// The value to store.
+            value: RegValue,
+        },
+        /// Server → client.
+        StoreAck {
+            /// Echo of the counter.
+            op_counter: u64,
+        },
+    }
+
+    /// Server: keeps the lexicographically highest `(ts, value)`.
+    pub struct Server {
+        /// Current timestamp.
+        pub ts: WTimestamp,
+        /// Current value.
+        pub value: RegValue,
+    }
+
+    impl Server {
+        /// Creates a server holding `(ts0, ⊥)`.
+        pub fn new() -> Self {
+            Server {
+                ts: WTimestamp::ZERO,
+                value: RegValue::Bottom,
+            }
+        }
+    }
+
+    impl Default for Server {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Automaton for Server {
+        type Msg = Msg;
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+            match msg {
+                Msg::Query { op_counter } => out.send(
+                    from,
+                    Msg::QueryAck {
+                        op_counter,
+                        ts: self.ts,
+                        value: self.value,
+                    },
+                ),
+                Msg::Store {
+                    op_counter,
+                    ts,
+                    value,
+                } => {
+                    if ts > self.ts {
+                        self.ts = ts;
+                        self.value = value;
+                    }
+                    out.send(from, Msg::StoreAck { op_counter });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    enum Phase {
+        Query {
+            acks: BTreeMap<u32, (WTimestamp, RegValue)>,
+        },
+        Store {
+            /// Value this operation will return (reads) and the ts stored.
+            chosen: (WTimestamp, RegValue),
+            acks: BTreeSet<u32>,
+        },
+    }
+
+    struct PendingOp {
+        op: OpId,
+        op_counter: u64,
+        /// `Some(v)`: this is a write of `v`; `None`: a read.
+        writing: Option<Value>,
+        phase: Phase,
+    }
+
+    /// A combined client automaton: writer `wid` if constructed with
+    /// [`Client::writer`], reader otherwise. Both roles are two-phase,
+    /// which is why one automaton serves both.
+    pub struct Client {
+        cfg: ClusterConfig,
+        layout: Layout,
+        history: SharedHistory,
+        /// Writer id for timestamps (writers only).
+        pub wid: Option<u32>,
+        op_counter: u64,
+        pending: Option<PendingOp>,
+    }
+
+    impl Client {
+        /// Creates writer `wid`.
+        pub fn writer(cfg: ClusterConfig, layout: Layout, wid: u32, history: SharedHistory) -> Self {
+            Client {
+                cfg,
+                layout,
+                history,
+                wid: Some(wid),
+                op_counter: 0,
+                pending: None,
+            }
+        }
+
+        /// Creates a reader.
+        pub fn reader(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+            Client {
+                cfg,
+                layout,
+                history,
+                wid: None,
+                op_counter: 0,
+                pending: None,
+            }
+        }
+
+        /// Returns `true` if no operation is in progress.
+        pub fn is_idle(&self) -> bool {
+            self.pending.is_none()
+        }
+    }
+
+    impl Automaton for Client {
+        type Msg = Msg;
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+            match msg {
+                Msg::InvokeWrite { value } => {
+                    assert!(from.is_external(), "writes are invoked by the environment");
+                    assert!(self.wid.is_some(), "read-only client asked to write");
+                    assert!(
+                        self.pending.is_none(),
+                        "client invoked write() while an operation was pending"
+                    );
+                    self.op_counter += 1;
+                    let op = self
+                        .history
+                        .invoke_write(out.this().index(), value, out.now().ticks());
+                    self.pending = Some(PendingOp {
+                        op,
+                        op_counter: self.op_counter,
+                        writing: Some(value),
+                        phase: Phase::Query {
+                            acks: BTreeMap::new(),
+                        },
+                    });
+                    out.broadcast(
+                        self.layout.servers(),
+                        Msg::Query {
+                            op_counter: self.op_counter,
+                        },
+                    );
+                }
+                Msg::InvokeRead => {
+                    assert!(from.is_external(), "reads are invoked by the environment");
+                    assert!(
+                        self.pending.is_none(),
+                        "client invoked read() while an operation was pending"
+                    );
+                    self.op_counter += 1;
+                    let op = self
+                        .history
+                        .invoke_read(out.this().index(), out.now().ticks());
+                    self.pending = Some(PendingOp {
+                        op,
+                        op_counter: self.op_counter,
+                        writing: None,
+                        phase: Phase::Query {
+                            acks: BTreeMap::new(),
+                        },
+                    });
+                    out.broadcast(
+                        self.layout.servers(),
+                        Msg::Query {
+                            op_counter: self.op_counter,
+                        },
+                    );
+                }
+                Msg::QueryAck {
+                    op_counter,
+                    ts,
+                    value,
+                } => {
+                    let Some(server) = self.layout.server_index(from) else {
+                        return;
+                    };
+                    let quorum = self.cfg.quorum();
+                    let wid = self.wid;
+                    let Some(pending) = self.pending.as_mut() else {
+                        return;
+                    };
+                    if op_counter != pending.op_counter {
+                        return;
+                    }
+                    let Phase::Query { acks } = &mut pending.phase else {
+                        return;
+                    };
+                    acks.insert(server, (ts, value));
+                    if acks.len() as u32 >= quorum {
+                        let (max_ts, max_val) =
+                            *acks.values().max_by_key(|(ts, _)| *ts).expect("nonempty");
+                        let chosen = match pending.writing {
+                            Some(v) => (
+                                WTimestamp {
+                                    seq: max_ts.seq + 1,
+                                    wid: wid.expect("writers have ids"),
+                                },
+                                RegValue::Val(v),
+                            ),
+                            None => (max_ts, max_val),
+                        };
+                        pending.phase = Phase::Store {
+                            chosen,
+                            acks: BTreeSet::new(),
+                        };
+                        out.broadcast(
+                            self.layout.servers(),
+                            Msg::Store {
+                                op_counter,
+                                ts: chosen.0,
+                                value: chosen.1,
+                            },
+                        );
+                    }
+                }
+                Msg::StoreAck { op_counter } => {
+                    let Some(server) = self.layout.server_index(from) else {
+                        return;
+                    };
+                    let quorum = self.cfg.quorum();
+                    let Some(pending) = self.pending.as_mut() else {
+                        return;
+                    };
+                    if op_counter != pending.op_counter {
+                        return;
+                    }
+                    let Phase::Store { chosen, acks } = &mut pending.phase else {
+                        return;
+                    };
+                    acks.insert(server);
+                    if acks.len() as u32 >= quorum {
+                        let returned = match pending.writing {
+                            Some(_) => None,
+                            None => Some(chosen.1),
+                        };
+                        let done = self.pending.take().expect("checked above");
+                        self.history.respond(done.op, returned, out.now().ticks());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+/// The plausible-but-wrong one-round MWMR protocol the §7 adversary
+/// refutes.
+pub mod naive_fast {
+    use super::*;
+
+    /// Message alphabet.
+    #[derive(Clone, Debug, PartialEq)]
+    pub enum Msg {
+        /// Environment → writer.
+        InvokeWrite {
+            /// The value to write.
+            value: Value,
+        },
+        /// Environment → reader.
+        InvokeRead,
+        /// Writer → servers: one-round store with a locally generated
+        /// timestamp — the unsound shortcut.
+        Store {
+            /// Locally generated timestamp.
+            ts: WTimestamp,
+            /// The value.
+            value: Value,
+        },
+        /// Server → writer.
+        StoreAck {
+            /// Echo of the timestamp.
+            ts: WTimestamp,
+        },
+        /// Reader → servers.
+        Read {
+            /// The reader's operation counter.
+            op_counter: u64,
+        },
+        /// Server → reader.
+        ReadAck {
+            /// Echo of the counter.
+            op_counter: u64,
+            /// The server's timestamp.
+            ts: WTimestamp,
+            /// The server's value.
+            value: RegValue,
+        },
+    }
+
+    /// Server: keeps the highest `(ts, value)`.
+    pub struct Server {
+        /// Current timestamp.
+        pub ts: WTimestamp,
+        /// Current value.
+        pub value: RegValue,
+    }
+
+    impl Server {
+        /// Creates a server holding `(ts0, ⊥)`.
+        pub fn new() -> Self {
+            Server {
+                ts: WTimestamp::ZERO,
+                value: RegValue::Bottom,
+            }
+        }
+    }
+
+    impl Default for Server {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Automaton for Server {
+        type Msg = Msg;
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+            match msg {
+                Msg::Store { ts, value } => {
+                    if ts > self.ts {
+                        self.ts = ts;
+                        self.value = RegValue::Val(value);
+                    }
+                    out.send(from, Msg::StoreAck { ts });
+                }
+                Msg::Read { op_counter } => out.send(
+                    from,
+                    Msg::ReadAck {
+                        op_counter,
+                        ts: self.ts,
+                        value: self.value,
+                    },
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    struct PendingWrite {
+        op: OpId,
+        ts: WTimestamp,
+        acks: BTreeSet<u32>,
+    }
+
+    /// Writer with a local sequence counter (no query phase).
+    pub struct Writer {
+        cfg: ClusterConfig,
+        layout: Layout,
+        history: SharedHistory,
+        /// This writer's id.
+        pub wid: u32,
+        seq: u64,
+        pending: Option<PendingWrite>,
+    }
+
+    impl Writer {
+        /// Creates writer `wid`.
+        pub fn new(cfg: ClusterConfig, layout: Layout, wid: u32, history: SharedHistory) -> Self {
+            Writer {
+                cfg,
+                layout,
+                history,
+                wid,
+                seq: 0,
+                pending: None,
+            }
+        }
+
+        /// Returns `true` if no write is in progress.
+        pub fn is_idle(&self) -> bool {
+            self.pending.is_none()
+        }
+    }
+
+    impl Automaton for Writer {
+        type Msg = Msg;
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+            match msg {
+                Msg::InvokeWrite { value } => {
+                    assert!(from.is_external(), "writes are invoked by the environment");
+                    assert!(
+                        self.pending.is_none(),
+                        "client invoked write() while an operation was pending"
+                    );
+                    self.seq += 1;
+                    let ts = WTimestamp {
+                        seq: self.seq,
+                        wid: self.wid,
+                    };
+                    let op = self
+                        .history
+                        .invoke_write(out.this().index(), value, out.now().ticks());
+                    self.pending = Some(PendingWrite {
+                        op,
+                        ts,
+                        acks: BTreeSet::new(),
+                    });
+                    out.broadcast(self.layout.servers(), Msg::Store { ts, value });
+                }
+                Msg::StoreAck { ts } => {
+                    let Some(server) = self.layout.server_index(from) else {
+                        return;
+                    };
+                    let quorum = self.cfg.quorum();
+                    let Some(pending) = self.pending.as_mut() else {
+                        return;
+                    };
+                    if ts != pending.ts {
+                        return;
+                    }
+                    pending.acks.insert(server);
+                    if pending.acks.len() as u32 >= quorum {
+                        let done = self.pending.take().expect("checked above");
+                        self.history.respond(done.op, None, out.now().ticks());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    struct PendingRead {
+        op: OpId,
+        op_counter: u64,
+        acks: BTreeMap<u32, (WTimestamp, RegValue)>,
+    }
+
+    /// Reader: one round, returns the max-timestamp value.
+    pub struct Reader {
+        cfg: ClusterConfig,
+        layout: Layout,
+        history: SharedHistory,
+        op_counter: u64,
+        pending: Option<PendingRead>,
+    }
+
+    impl Reader {
+        /// Creates a reader.
+        pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+            Reader {
+                cfg,
+                layout,
+                history,
+                op_counter: 0,
+                pending: None,
+            }
+        }
+
+        /// Returns `true` if no read is in progress.
+        pub fn is_idle(&self) -> bool {
+            self.pending.is_none()
+        }
+    }
+
+    impl Automaton for Reader {
+        type Msg = Msg;
+
+        fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+            match msg {
+                Msg::InvokeRead => {
+                    assert!(from.is_external(), "reads are invoked by the environment");
+                    assert!(
+                        self.pending.is_none(),
+                        "client invoked read() while an operation was pending"
+                    );
+                    self.op_counter += 1;
+                    let op = self
+                        .history
+                        .invoke_read(out.this().index(), out.now().ticks());
+                    self.pending = Some(PendingRead {
+                        op,
+                        op_counter: self.op_counter,
+                        acks: BTreeMap::new(),
+                    });
+                    out.broadcast(
+                        self.layout.servers(),
+                        Msg::Read {
+                            op_counter: self.op_counter,
+                        },
+                    );
+                }
+                Msg::ReadAck {
+                    op_counter,
+                    ts,
+                    value,
+                } => {
+                    let Some(server) = self.layout.server_index(from) else {
+                        return;
+                    };
+                    let quorum = self.cfg.quorum();
+                    let Some(pending) = self.pending.as_mut() else {
+                        return;
+                    };
+                    if op_counter != pending.op_counter {
+                        return;
+                    }
+                    pending.acks.insert(server, (ts, value));
+                    if pending.acks.len() as u32 >= quorum {
+                        let done = self.pending.take().expect("checked above");
+                        let (_, returned) = *done
+                            .acks
+                            .values()
+                            .max_by_key(|(ts, _)| *ts)
+                            .expect("quorum nonempty");
+                        self.history
+                            .respond(done.op, Some(returned), out.now().ticks());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg_atomicity::linearizability::check_linearizable;
+    use fastreg_simnet::runner::SimConfig;
+    use fastreg_simnet::world::World;
+
+    fn cfg() -> ClusterConfig {
+        ClusterConfig::mwmr(5, 1, 2, 2).unwrap()
+    }
+
+    mod abd_tests {
+        use super::super::abd::*;
+        use super::*;
+
+        fn cluster(cfg: ClusterConfig, seed: u64) -> (World<Msg>, Layout, SharedHistory) {
+            let layout = Layout::of(&cfg);
+            let history = SharedHistory::new();
+            let mut world: World<Msg> = World::new(SimConfig::default().with_seed(seed));
+            for wid in 0..cfg.w {
+                world.add_actor(Box::new(Client::writer(cfg, layout, wid, history.clone())));
+            }
+            for _ in 0..cfg.r {
+                world.add_actor(Box::new(Client::reader(cfg, layout, history.clone())));
+            }
+            for _ in 0..cfg.s {
+                world.add_actor(Box::new(Server::new()));
+            }
+            (world, layout, history)
+        }
+
+        #[test]
+        fn two_writers_sequential() {
+            let (mut w, l, h) = cluster(cfg(), 1);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 10 });
+            w.run_until_quiescent();
+            w.inject(l.writer(1), Msg::InvokeWrite { value: 20 });
+            w.run_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_until_quiescent();
+            let hist = h.snapshot();
+            assert_eq!(
+                hist.reads().next().unwrap().returned,
+                Some(RegValue::Val(20))
+            );
+            assert_eq!(check_linearizable(&hist), Ok(true));
+        }
+
+        #[test]
+        fn writes_are_two_rounds() {
+            let (mut w, l, h) = cluster(cfg(), 1);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            w.run_until_quiescent();
+            let hist = h.snapshot();
+            let wr = hist.writes().next().unwrap();
+            // Query + Store: 4 message delays — not fast, as §7 requires.
+            assert_eq!(wr.responded_at.unwrap() - wr.invoked_at, 4);
+        }
+
+        #[test]
+        fn concurrent_writers_linearize() {
+            for seed in 0..25 {
+                let (mut w, l, h) = cluster(cfg(), seed);
+                w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+                w.inject(l.writer(1), Msg::InvokeWrite { value: 2 });
+                w.inject(l.reader(0), Msg::InvokeRead);
+                w.inject(l.reader(1), Msg::InvokeRead);
+                w.run_random_until_quiescent();
+                let hist = h.snapshot();
+                assert_eq!(
+                    check_linearizable(&hist),
+                    Ok(true),
+                    "seed {seed}:\n{}",
+                    hist.render()
+                );
+            }
+        }
+
+        #[test]
+        fn reader_write_back_prevents_inversion() {
+            for seed in 0..25 {
+                let (mut w, l, h) = cluster(cfg(), seed);
+                w.arm_crash_after_sends(l.writer(0), (seed % 6) as usize);
+                w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+                w.run_random_until_quiescent();
+                w.inject(l.reader(0), Msg::InvokeRead);
+                w.run_random_until_quiescent();
+                w.inject(l.reader(1), Msg::InvokeRead);
+                w.run_random_until_quiescent();
+                let hist = h.snapshot();
+                assert_eq!(
+                    check_linearizable(&hist),
+                    Ok(true),
+                    "seed {seed}:\n{}",
+                    hist.render()
+                );
+            }
+        }
+    }
+
+    mod naive_tests {
+        use super::super::naive_fast::*;
+        use super::*;
+
+        fn cluster(cfg: ClusterConfig, seed: u64) -> (World<Msg>, Layout, SharedHistory) {
+            let layout = Layout::of(&cfg);
+            let history = SharedHistory::new();
+            let mut world: World<Msg> = World::new(SimConfig::default().with_seed(seed));
+            for wid in 0..cfg.w {
+                world.add_actor(Box::new(Writer::new(cfg, layout, wid, history.clone())));
+            }
+            for _ in 0..cfg.r {
+                world.add_actor(Box::new(Reader::new(cfg, layout, history.clone())));
+            }
+            for _ in 0..cfg.s {
+                world.add_actor(Box::new(Server::new()));
+            }
+            (world, layout, history)
+        }
+
+        #[test]
+        fn all_ops_are_one_round() {
+            let (mut w, l, h) = cluster(cfg(), 1);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            w.run_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_until_quiescent();
+            let hist = h.snapshot();
+            for op in hist.complete_ops() {
+                assert_eq!(op.responded_at.unwrap() - op.invoked_at, 2);
+            }
+        }
+
+        #[test]
+        fn benign_schedules_look_correct() {
+            // The protocol is plausible: on sequential schedules it behaves.
+            let (mut w, l, h) = cluster(cfg(), 1);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            w.run_until_quiescent();
+            w.inject(l.writer(1), Msg::InvokeWrite { value: 2 });
+            w.run_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_until_quiescent();
+            let hist = h.snapshot();
+            // Writer 1's local seq is 1 == writer 0's, so its write ties at
+            // seq 1 and wins on wid — the read sees 2.
+            assert_eq!(
+                hist.reads().next().unwrap().returned,
+                Some(RegValue::Val(2))
+            );
+            assert_eq!(check_linearizable(&hist), Ok(true));
+        }
+
+        #[test]
+        fn sequential_writes_by_one_writer_monotone() {
+            let (mut w, l, h) = cluster(cfg(), 1);
+            for v in 1..=3 {
+                w.inject(l.writer(0), Msg::InvokeWrite { value: v });
+                w.run_until_quiescent();
+            }
+            w.inject(l.reader(1), Msg::InvokeRead);
+            w.run_until_quiescent();
+            let hist = h.snapshot();
+            assert_eq!(
+                hist.reads().next().unwrap().returned,
+                Some(RegValue::Val(3))
+            );
+        }
+    }
+}

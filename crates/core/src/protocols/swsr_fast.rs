@@ -1,0 +1,444 @@
+//! The single-reader fast register sketched in §1 of the paper.
+//!
+//! The headline bound `R < S/t − 2` is proved tight only for `R ≥ 2`
+//! (Proposition 5's hypotheses). For a *single* reader the paper's
+//! introduction describes a much cheaper trick: modify ABD so that the
+//! read returns the latest value learned in its (single) round trip,
+//! *provided it is not older than the value returned by the previous
+//! read; otherwise the reader returns the same value as before*. With one
+//! reader this monotonicity is exactly condition (4) of §3.1, and
+//! conditions (2)–(3) follow from quorum intersection — so plain majority
+//! resilience `t < S/2` suffices, strictly weaker than the general
+//! protocol's `S > 3t` for `R = 1`.
+//!
+//! This module implements that sketch: a SWSR (single-writer
+//! single-reader) register with one-round reads and writes at `t < S/2`.
+//! It completes the picture around the theorem:
+//!
+//! | readers | fast atomic register exists iff |
+//! |---------|--------------------------------|
+//! | `R = 1` | `t < S/2` (this module)        |
+//! | `R ≥ 2` | `S > (R+2)t + (R+1)b` (Figs. 2/5) |
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fastreg_atomicity::history::{OpId, SharedHistory};
+use fastreg_simnet::automaton::{Automaton, Outbox};
+use fastreg_simnet::id::ProcessId;
+
+use crate::config::ClusterConfig;
+use crate::layout::Layout;
+use crate::types::{RegValue, Timestamp, Value};
+
+/// Message alphabet of the protocol.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Msg {
+    /// Environment → writer: invoke `write(value)`.
+    InvokeWrite {
+        /// The value to write.
+        value: Value,
+    },
+    /// Environment → reader: invoke `read()`.
+    InvokeRead,
+    /// Writer → servers.
+    Write {
+        /// The write's timestamp.
+        ts: Timestamp,
+        /// The written value.
+        value: Value,
+    },
+    /// Server → writer.
+    WriteAck {
+        /// Echo of the stored timestamp.
+        ts: Timestamp,
+    },
+    /// Reader → servers.
+    Read {
+        /// The reader's operation counter.
+        op_counter: u64,
+    },
+    /// Server → reader.
+    ReadAck {
+        /// Echo of the operation counter.
+        op_counter: u64,
+        /// The server's timestamp.
+        ts: Timestamp,
+        /// The server's value.
+        value: RegValue,
+    },
+}
+
+/// Server: stores the highest `(ts, value)` — identical to the regular
+/// register's server; the magic is entirely in the reader.
+pub struct Server {
+    /// Current timestamp.
+    pub ts: Timestamp,
+    /// Current value.
+    pub value: RegValue,
+}
+
+impl Server {
+    /// Creates a server holding `(ts0, ⊥)`.
+    pub fn new() -> Self {
+        Server {
+            ts: Timestamp::ZERO,
+            value: RegValue::Bottom,
+        }
+    }
+}
+
+impl Default for Server {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Automaton for Server {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::Write { ts, value } => {
+                if ts > self.ts {
+                    self.ts = ts;
+                    self.value = RegValue::Val(value);
+                }
+                out.send(from, Msg::WriteAck { ts });
+            }
+            Msg::Read { op_counter } => out.send(
+                from,
+                Msg::ReadAck {
+                    op_counter,
+                    ts: self.ts,
+                    value: self.value,
+                },
+            ),
+            _ => {}
+        }
+    }
+}
+
+struct PendingWrite {
+    op: OpId,
+    ts: Timestamp,
+    acks: BTreeSet<u32>,
+}
+
+/// Writer: one-round writes with self-incremented timestamps (as in ABD).
+pub struct Writer {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    /// Timestamp of the next write.
+    pub ts: Timestamp,
+    pending: Option<PendingWrite>,
+}
+
+impl Writer {
+    /// Creates the writer in its initial state.
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Writer {
+            cfg,
+            layout,
+            history,
+            ts: Timestamp(1),
+            pending: None,
+        }
+    }
+
+    /// Returns `true` if no write is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Writer {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeWrite { value } => {
+                assert!(from.is_external(), "writes are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked write() while an operation was pending"
+                );
+                let op = self
+                    .history
+                    .invoke_write(out.this().index(), value, out.now().ticks());
+                self.pending = Some(PendingWrite {
+                    op,
+                    ts: self.ts,
+                    acks: BTreeSet::new(),
+                });
+                out.broadcast(self.layout.servers(), Msg::Write { ts: self.ts, value });
+            }
+            Msg::WriteAck { ts } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if ts != pending.ts {
+                    return;
+                }
+                pending.acks.insert(server);
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    self.history.respond(done.op, None, out.now().ticks());
+                    self.ts = self.ts.next();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+struct PendingRead {
+    op: OpId,
+    op_counter: u64,
+    acks: BTreeMap<u32, (Timestamp, RegValue)>,
+}
+
+/// The single reader: one round, returns the max-timestamp quorum value —
+/// but never regresses below its own previous return (the §1 trick).
+pub struct Reader {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    op_counter: u64,
+    /// Timestamp of the last returned value.
+    pub last_ts: Timestamp,
+    /// The last returned value.
+    pub last_value: RegValue,
+    /// Reads answered from memory because the quorum view was older.
+    pub sticky_reads: u64,
+    pending: Option<PendingRead>,
+}
+
+impl Reader {
+    /// Creates the reader in its initial state.
+    pub fn new(cfg: ClusterConfig, layout: Layout, history: SharedHistory) -> Self {
+        Reader {
+            cfg,
+            layout,
+            history,
+            op_counter: 0,
+            last_ts: Timestamp::ZERO,
+            last_value: RegValue::Bottom,
+            sticky_reads: 0,
+            pending: None,
+        }
+    }
+
+    /// Returns `true` if no read is in progress.
+    pub fn is_idle(&self) -> bool {
+        self.pending.is_none()
+    }
+}
+
+impl Automaton for Reader {
+    type Msg = Msg;
+
+    fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
+        match msg {
+            Msg::InvokeRead => {
+                assert!(from.is_external(), "reads are invoked by the environment");
+                assert!(
+                    self.pending.is_none(),
+                    "client invoked read() while an operation was pending"
+                );
+                self.op_counter += 1;
+                let op = self
+                    .history
+                    .invoke_read(out.this().index(), out.now().ticks());
+                self.pending = Some(PendingRead {
+                    op,
+                    op_counter: self.op_counter,
+                    acks: BTreeMap::new(),
+                });
+                out.broadcast(
+                    self.layout.servers(),
+                    Msg::Read {
+                        op_counter: self.op_counter,
+                    },
+                );
+            }
+            Msg::ReadAck {
+                op_counter,
+                ts,
+                value,
+            } => {
+                let Some(server) = self.layout.server_index(from) else {
+                    return;
+                };
+                let quorum = self.cfg.quorum();
+                let Some(pending) = self.pending.as_mut() else {
+                    return;
+                };
+                if op_counter != pending.op_counter {
+                    return;
+                }
+                pending.acks.insert(server, (ts, value));
+                if pending.acks.len() as u32 >= quorum {
+                    let done = self.pending.take().expect("checked above");
+                    let (max_ts, max_val) = *done
+                        .acks
+                        .values()
+                        .max_by_key(|(ts, _)| *ts)
+                        .expect("quorum nonempty");
+                    // The §1 rule: never return anything older than the
+                    // previous read's value.
+                    let returned = if max_ts >= self.last_ts {
+                        self.last_ts = max_ts;
+                        self.last_value = max_val;
+                        max_val
+                    } else {
+                        self.sticky_reads += 1;
+                        self.last_value
+                    };
+                    self.history
+                        .respond(done.op, Some(returned), out.now().ticks());
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg_atomicity::swmr::check_swmr_atomicity;
+    use fastreg_simnet::runner::SimConfig;
+    use fastreg_simnet::world::World;
+
+    fn cluster(cfg: ClusterConfig, seed: u64) -> (World<Msg>, Layout, SharedHistory) {
+        assert_eq!(cfg.r, 1, "SWSR protocol takes exactly one reader");
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let mut world: World<Msg> = World::new(SimConfig::default().with_seed(seed));
+        world.add_actor(Box::new(Writer::new(cfg, layout, history.clone())));
+        world.add_actor(Box::new(Reader::new(cfg, layout, history.clone())));
+        for _ in 0..cfg.s {
+            world.add_actor(Box::new(Server::new()));
+        }
+        (world, layout, history)
+    }
+
+    /// t = 1 of S = 3: majority-only resilience, where the general fast
+    /// protocol is infeasible even for one reader (needs S > 3t).
+    fn cfg_majority_only() -> ClusterConfig {
+        let cfg = ClusterConfig::crash_stop(3, 1, 1).unwrap();
+        assert!(!cfg.fast_feasible(), "general bound fails here");
+        assert!(cfg.fast_regular_feasible(), "but majority holds");
+        cfg
+    }
+
+    #[test]
+    fn write_then_read() {
+        let (mut w, l, h) = cluster(cfg_majority_only(), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(
+            hist.reads().next().unwrap().returned,
+            Some(RegValue::Val(9))
+        );
+        check_swmr_atomicity(&hist).unwrap();
+    }
+
+    #[test]
+    fn reads_are_one_round_trip() {
+        let (mut w, l, h) = cluster(cfg_majority_only(), 1);
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let rd = h.snapshot().reads().next().unwrap().clone();
+        assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
+    }
+
+    #[test]
+    fn sticky_rule_prevents_regression() {
+        // The §1 scenario: write(7) reaches one server only; the read
+        // returns it (max over its quorum); a later read that misses that
+        // server must NOT regress — the sticky rule answers from memory.
+        let (mut w, l, _) = cluster(cfg_majority_only(), 1);
+        w.arm_crash_after_sends(l.writer(0), 1);
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 7 });
+        w.deliver_matching(|e| matches!(e.msg, Msg::Write { .. }));
+
+        // Read 1 from servers {0, 1}: sees ts1 at s0 → returns 7.
+        w.inject(l.reader(0), Msg::InvokeRead);
+        for j in [0u32, 1] {
+            w.deliver_matching(|e| e.to == l.server(j) && matches!(e.msg, Msg::Read { .. }));
+        }
+        w.deliver_matching(|e| e.to == l.reader(0));
+        // Read 2 from servers {1, 2}: both still ts0 — sticky rule fires.
+        w.advance_to(fastreg_simnet::time::SimTime::from_ticks(10));
+        w.inject(l.reader(0), Msg::InvokeRead);
+        for j in [1u32, 2] {
+            w.deliver_matching(|e| e.to == l.server(j) && matches!(e.msg, Msg::Read { .. }));
+        }
+        w.deliver_matching(|e| e.to == l.reader(0));
+
+        let sticky = w
+            .with_actor::<Reader, _, _>(l.reader(0), |r| r.sticky_reads)
+            .unwrap();
+        assert_eq!(sticky, 1);
+    }
+
+    #[test]
+    fn random_schedules_are_atomic_at_majority() {
+        for seed in 0..40 {
+            let (mut w, l, h) = cluster(cfg_majority_only(), seed);
+            w.arm_crash_after_sends(l.writer(0), (seed % 4) as usize);
+            w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_random_until_quiescent();
+            let hist = h.snapshot();
+            check_swmr_atomicity(&hist)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{}", hist.render()));
+        }
+    }
+
+    #[test]
+    fn sequence_of_ops_stays_atomic_and_monotone() {
+        let (mut w, l, h) = cluster(ClusterConfig::crash_stop(5, 2, 1).unwrap(), 3);
+        for v in 1..=6u64 {
+            w.inject(l.writer(0), Msg::InvokeWrite { value: v });
+            w.run_until_quiescent();
+            w.inject(l.reader(0), Msg::InvokeRead);
+            w.run_until_quiescent();
+        }
+        let hist = h.snapshot();
+        check_swmr_atomicity(&hist).unwrap();
+        let returns: Vec<_> = hist.reads().map(|r| r.returned.unwrap()).collect();
+        assert_eq!(
+            returns,
+            (1..=6u64).map(RegValue::Val).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn survives_t_crashes() {
+        let cfg = ClusterConfig::crash_stop(5, 2, 1).unwrap();
+        let (mut w, l, h) = cluster(cfg, 2);
+        w.crash(l.server(0));
+        w.crash(l.server(1));
+        w.inject(l.writer(0), Msg::InvokeWrite { value: 5 });
+        w.run_until_quiescent();
+        w.inject(l.reader(0), Msg::InvokeRead);
+        w.run_until_quiescent();
+        let hist = h.snapshot();
+        assert_eq!(hist.complete_ops().count(), 2);
+        check_swmr_atomicity(&hist).unwrap();
+    }
+}

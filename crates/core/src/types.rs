@@ -1,0 +1,195 @@
+//! Core value and identifier types shared by all protocols.
+
+use std::fmt;
+
+pub use fastreg_atomicity::history::RegValue;
+
+/// A write timestamp. `Timestamp(0)` is the initial timestamp (associated
+/// with the register's initial value `⊥`); the writer's first write carries
+/// `Timestamp(1)`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Timestamp(pub u64);
+
+impl Timestamp {
+    /// The initial timestamp.
+    pub const ZERO: Timestamp = Timestamp(0);
+
+    /// The next timestamp (used by the single writer, who always knows the
+    /// latest timestamp — footnote 2 of the paper).
+    pub fn next(self) -> Timestamp {
+        Timestamp(self.0 + 1)
+    }
+
+    /// The previous timestamp, saturating at zero.
+    pub fn prev(self) -> Timestamp {
+        Timestamp(self.0.saturating_sub(1))
+    }
+}
+
+impl fmt::Debug for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}", self.0)
+    }
+}
+
+impl fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A multi-writer timestamp: sequence number with writer id as tie-breaker,
+/// ordered lexicographically (Lynch–Shvartsman style, used by the MWMR
+/// baseline of §7).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WTimestamp {
+    /// Monotone sequence number.
+    pub seq: u64,
+    /// Writer id tie-breaker.
+    pub wid: u32,
+}
+
+impl WTimestamp {
+    /// The initial multi-writer timestamp.
+    pub const ZERO: WTimestamp = WTimestamp { seq: 0, wid: 0 };
+}
+
+impl fmt::Debug for WTimestamp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ts{}.{}", self.seq, self.wid)
+    }
+}
+
+/// The paper's `pid` mapping over clients: the writer is `0`, reader
+/// `r_i` is `i` (1-based). Used in `seen` sets and the per-client
+/// `counter[]` array of Fig. 2.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// The writer's client id.
+    pub const WRITER: ClientId = ClientId(0);
+
+    /// The id of reader `i` (0-based index into the reader set — reader 0
+    /// is the paper's `r1`).
+    pub fn reader(index: u32) -> ClientId {
+        ClientId(index + 1)
+    }
+
+    /// Returns `true` if this is the writer.
+    pub fn is_writer(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl fmt::Debug for ClientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_writer() {
+            write!(f, "w")
+        } else {
+            write!(f, "r{}", self.0)
+        }
+    }
+}
+
+/// The two value tags the writer attaches to a timestamp (§4): the value of
+/// the write carrying the timestamp, and the value of the immediately
+/// preceding write. A reader that cannot prove the newest value safe
+/// returns the `prev` tag — the paper's "return maxTS − 1".
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TaggedValue {
+    /// The value written with this timestamp (`⊥` for `Timestamp::ZERO`).
+    pub cur: RegValue,
+    /// The value of the preceding write (`⊥` if none).
+    pub prev: RegValue,
+}
+
+impl TaggedValue {
+    /// Tags for the initial state (`⊥`, `⊥`) at `Timestamp::ZERO`.
+    pub const INITIAL: TaggedValue = TaggedValue {
+        cur: RegValue::Bottom,
+        prev: RegValue::Bottom,
+    };
+
+    /// Tags for a write of `cur` whose predecessor wrote `prev`.
+    pub fn new(cur: RegValue, prev: RegValue) -> Self {
+        TaggedValue { cur, prev }
+    }
+}
+
+impl fmt::Debug for TaggedValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "⟨{}|{}⟩", self.cur, self.prev)
+    }
+}
+
+impl Default for TaggedValue {
+    fn default() -> Self {
+        TaggedValue::INITIAL
+    }
+}
+
+/// Client roles in the SWMR protocols.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// The single writer `w`.
+    Writer,
+    /// Reader `r_{i+1}` (0-based index).
+    Reader(u32),
+    /// Server `s_{j+1}` (0-based index).
+    Server(u32),
+}
+
+/// A convenience alias for written values.
+pub type Value = u64;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_next_prev() {
+        assert_eq!(Timestamp::ZERO.next(), Timestamp(1));
+        assert_eq!(Timestamp(5).prev(), Timestamp(4));
+        assert_eq!(Timestamp::ZERO.prev(), Timestamp::ZERO);
+    }
+
+    #[test]
+    fn timestamp_orders_numerically() {
+        assert!(Timestamp(2) > Timestamp(1));
+        assert_eq!(format!("{:?} {}", Timestamp(3), Timestamp(3)), "ts3 3");
+    }
+
+    #[test]
+    fn wtimestamp_orders_lexicographically() {
+        let a = WTimestamp { seq: 1, wid: 5 };
+        let b = WTimestamp { seq: 2, wid: 0 };
+        let c = WTimestamp { seq: 2, wid: 1 };
+        assert!(a < b);
+        assert!(b < c);
+        assert_eq!(format!("{c:?}"), "ts2.1");
+    }
+
+    #[test]
+    fn client_id_mapping_matches_paper() {
+        assert!(ClientId::WRITER.is_writer());
+        assert_eq!(ClientId::reader(0), ClientId(1)); // r1 has pid 1
+        assert_eq!(ClientId::reader(4), ClientId(5));
+        assert!(!ClientId::reader(0).is_writer());
+        assert_eq!(format!("{:?}", ClientId::WRITER), "w");
+        assert_eq!(format!("{:?}", ClientId::reader(1)), "r2");
+    }
+
+    #[test]
+    fn tagged_value_initial_is_bottom_pair() {
+        assert_eq!(TaggedValue::INITIAL.cur, RegValue::Bottom);
+        assert_eq!(TaggedValue::INITIAL.prev, RegValue::Bottom);
+        assert_eq!(TaggedValue::default(), TaggedValue::INITIAL);
+    }
+
+    #[test]
+    fn tagged_value_debug() {
+        let t = TaggedValue::new(RegValue::Val(5), RegValue::Bottom);
+        assert_eq!(format!("{t:?}"), "⟨5|⊥⟩");
+    }
+}

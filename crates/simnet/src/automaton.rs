@@ -1,0 +1,194 @@
+//! The per-process automaton trait and its output collector.
+//!
+//! An [`Automaton`] is the code `A_p` the paper assigns to process `p` (§2.2).
+//! A step `<p, M>` delivers a message set `M`; the automaton atomically
+//! updates its state and emits output messages through an [`Outbox`]. The
+//! same automaton type runs unchanged under the discrete-event
+//! [`World`](crate::world::World) and the wall-clock
+//! [`threaded`](crate::threaded) runtime.
+
+use std::any::Any;
+
+use crate::id::ProcessId;
+use crate::time::SimTime;
+
+/// Blanket downcast support so a [`World`](crate::world::World) can hand
+/// tests a typed view of an actor's state via
+/// [`World::with_actor`](crate::world::World::with_actor).
+pub trait Downcast: Any {
+    /// Borrows `self` as [`Any`].
+    fn as_any(&self) -> &dyn Any;
+    /// Mutably borrows `self` as [`Any`].
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+impl<T: Any> Downcast for T {
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A deterministic message-driven state machine: the paper's automaton `A_p`.
+///
+/// Implementations must be deterministic functions of `(state, from, msg)`:
+/// all nondeterminism in a run comes from the scheduler, never from the
+/// automaton. This is what makes simulated runs reproducible and the paper's
+/// indistinguishability arguments (two runs delivering the same messages to
+/// `p` leave `p` in the same state) directly executable.
+///
+/// # Examples
+///
+/// ```
+/// use fastreg_simnet::automaton::{Automaton, Outbox};
+/// use fastreg_simnet::id::ProcessId;
+///
+/// /// Echoes every message back to its sender.
+/// struct Echo;
+///
+/// impl Automaton for Echo {
+///     type Msg = String;
+///     fn on_message(&mut self, from: ProcessId, msg: String, out: &mut Outbox<String>) {
+///         out.send(from, msg);
+///     }
+/// }
+/// ```
+pub trait Automaton: Downcast + Send {
+    /// The message alphabet of this automaton.
+    type Msg: Clone + std::fmt::Debug + Send + 'static;
+
+    /// Called once when the world starts, before any message is delivered.
+    ///
+    /// The default does nothing; override to send initial messages.
+    fn on_start(&mut self, out: &mut Outbox<Self::Msg>) {
+        let _ = out;
+    }
+
+    /// Handles one delivered message. Corresponds to a step `<p, {m}>`.
+    ///
+    /// Messages injected by the environment (operation invocations) arrive
+    /// with `from == ProcessId::EXTERNAL`.
+    fn on_message(&mut self, from: ProcessId, msg: Self::Msg, out: &mut Outbox<Self::Msg>);
+}
+
+/// Collects the messages an automaton emits during one step, and exposes the
+/// current time to the automaton.
+///
+/// The runtime moves the collected messages into the in-transit set after the
+/// step completes — mirroring the paper's atomic step semantics, with one
+/// deliberate exception: a crash fault may be injected *after a prefix of the
+/// sends* ([`CrashMode::AfterSends`](crate::fault::CrashMode::AfterSends)),
+/// because the paper requires algorithms to tolerate a process crashing
+/// mid-broadcast.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    now: SimTime,
+    this: ProcessId,
+    msgs: Vec<(ProcessId, M)>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an outbox for a step taken by `this` at time `now`.
+    pub fn new(this: ProcessId, now: SimTime) -> Self {
+        Outbox {
+            now,
+            this,
+            msgs: Vec::new(),
+        }
+    }
+
+    /// The current time (virtual under simulation, wall-clock ticks under
+    /// the threaded runtime).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id of the process taking this step.
+    pub fn this(&self) -> ProcessId {
+        self.this
+    }
+
+    /// Queues a message to `to`.
+    pub fn send(&mut self, to: ProcessId, msg: M) {
+        self.msgs.push((to, msg));
+    }
+
+    /// Queues the same message to every id in `targets`, in order.
+    ///
+    /// Order matters: crash injection can cut a broadcast after any prefix.
+    pub fn broadcast<I>(&mut self, targets: I, msg: M)
+    where
+        I: IntoIterator<Item = ProcessId>,
+        M: Clone,
+    {
+        for to in targets {
+            self.msgs.push((to, msg.clone()));
+        }
+    }
+
+    /// Number of messages queued so far in this step.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Returns `true` if no messages have been queued.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Consumes the outbox, returning the queued `(to, msg)` pairs in send
+    /// order.
+    pub fn into_messages(self) -> Vec<(ProcessId, M)> {
+        self.msgs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outbox_collects_in_order() {
+        let mut out: Outbox<u32> = Outbox::new(ProcessId::new(0), SimTime::ZERO);
+        out.send(ProcessId::new(1), 10);
+        out.send(ProcessId::new(2), 20);
+        assert_eq!(out.len(), 2);
+        let msgs = out.into_messages();
+        assert_eq!(msgs, vec![(ProcessId::new(1), 10), (ProcessId::new(2), 20)]);
+    }
+
+    #[test]
+    fn broadcast_clones_to_each_target() {
+        let mut out: Outbox<&'static str> = Outbox::new(ProcessId::new(0), SimTime::ZERO);
+        out.broadcast((1..4).map(ProcessId::new), "hi");
+        let msgs = out.into_messages();
+        assert_eq!(msgs.len(), 3);
+        assert!(msgs.iter().all(|(_, m)| *m == "hi"));
+        assert_eq!(msgs[0].0, ProcessId::new(1));
+        assert_eq!(msgs[2].0, ProcessId::new(3));
+    }
+
+    #[test]
+    fn outbox_reports_time_and_self() {
+        let out: Outbox<u32> = Outbox::new(ProcessId::new(9), SimTime::from_ticks(77));
+        assert_eq!(out.now().ticks(), 77);
+        assert_eq!(out.this(), ProcessId::new(9));
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn downcast_blanket_impl() {
+        struct S(u8);
+        impl Automaton for S {
+            type Msg = ();
+            fn on_message(&mut self, _: ProcessId, _: (), _: &mut Outbox<()>) {}
+        }
+        let mut d: Box<dyn Automaton<Msg = ()>> = Box::new(S(5));
+        assert_eq!((*d).as_any().downcast_ref::<S>().unwrap().0, 5);
+        (*d).as_any_mut().downcast_mut::<S>().unwrap().0 = 6;
+        assert_eq!((*d).as_any().downcast_ref::<S>().unwrap().0, 6);
+    }
+}

@@ -1,0 +1,71 @@
+//! Crash-fault injection.
+//!
+//! The paper's crash model (§2.2): a faulty process takes a last step and
+//! then stops; while broadcasting, "the sending process may crash after
+//! sending messages to an arbitrary subset". [`CrashMode`] expresses both.
+
+use crate::time::SimTime;
+
+/// How a process crash is injected.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CrashMode {
+    /// Stop immediately: the process takes no further steps; messages it has
+    /// already placed in transit remain in transit.
+    Now,
+    /// Crash during the process's *next* step, after it has emitted exactly
+    /// `k` of that step's messages. The remaining messages of the step are
+    /// lost with the process. This models the mid-broadcast crash the paper
+    /// requires implementations to tolerate.
+    AfterSends(usize),
+}
+
+/// The crash status of a process inside a world.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CrashState {
+    /// Taking steps normally.
+    #[default]
+    Up,
+    /// A [`CrashMode::AfterSends`] fault is armed for the next step.
+    Armed(usize),
+    /// Crashed (at the given time); takes no further steps.
+    Down(SimTime),
+}
+
+impl CrashState {
+    /// Returns `true` if the process can still take steps.
+    pub fn is_up(self) -> bool {
+        !matches!(self, CrashState::Down(_))
+    }
+
+    /// Returns the crash time, if crashed.
+    pub fn crashed_at(self) -> Option<SimTime> {
+        match self {
+            CrashState::Down(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_up() {
+        let s = CrashState::default();
+        assert!(s.is_up());
+        assert_eq!(s.crashed_at(), None);
+    }
+
+    #[test]
+    fn armed_is_still_up() {
+        assert!(CrashState::Armed(2).is_up());
+    }
+
+    #[test]
+    fn down_reports_time() {
+        let s = CrashState::Down(SimTime::from_ticks(5));
+        assert!(!s.is_up());
+        assert_eq!(s.crashed_at(), Some(SimTime::from_ticks(5)));
+    }
+}

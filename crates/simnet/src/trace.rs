@@ -1,0 +1,277 @@
+//! Structured run traces.
+//!
+//! Every world records (bounded) structured events: sends, deliveries,
+//! injections, crashes, drops. Traces serve three purposes: debugging
+//! protocol code, rendering the lower-bound proof constructions in the
+//! `lower_bound_gallery` example, and asserting simulator determinism (two
+//! runs with the same seed produce byte-identical traces).
+
+use std::fmt;
+
+use crate::envelope::MsgId;
+use crate::id::ProcessId;
+use crate::time::SimTime;
+
+/// One recorded simulator event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TraceEntry {
+    /// A message entered the in-transit set.
+    Send {
+        /// When the sender's step completed.
+        at: SimTime,
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+    /// A message was delivered in a step of `to`.
+    Deliver {
+        /// Delivery time.
+        at: SimTime,
+        /// Message id.
+        id: MsgId,
+        /// Sender.
+        from: ProcessId,
+        /// Receiver.
+        to: ProcessId,
+    },
+    /// The environment injected a message (operation invocation) into `to`.
+    Inject {
+        /// Injection time.
+        at: SimTime,
+        /// Target process.
+        to: ProcessId,
+        /// `Debug` rendering of the payload.
+        payload: String,
+    },
+    /// A process crashed.
+    Crash {
+        /// Crash time.
+        at: SimTime,
+        /// The crashed process.
+        process: ProcessId,
+        /// Number of messages of the in-progress step that were still sent
+        /// (only meaningful for mid-broadcast crashes).
+        sent_before_crash: usize,
+    },
+    /// A message was explicitly dropped (scripted or Byzantine-network
+    /// action) or was addressed to a crashed process.
+    Drop {
+        /// Drop time.
+        at: SimTime,
+        /// Message id.
+        id: MsgId,
+        /// Why it was dropped.
+        reason: DropReason,
+    },
+}
+
+/// Why a message left the in-transit set without being delivered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// The test driver or adversary discarded it.
+    Scripted,
+    /// The receiver had crashed; equivalent to leaving the message in
+    /// transit forever.
+    ReceiverCrashed,
+}
+
+impl TraceEntry {
+    /// The time at which this event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEntry::Send { at, .. }
+            | TraceEntry::Deliver { at, .. }
+            | TraceEntry::Inject { at, .. }
+            | TraceEntry::Crash { at, .. }
+            | TraceEntry::Drop { at, .. } => *at,
+        }
+    }
+}
+
+impl fmt::Display for TraceEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEntry::Send {
+                at,
+                id,
+                from,
+                to,
+                payload,
+            } => write!(f, "[{at:>6}] send    {id} {from} -> {to}: {payload}"),
+            TraceEntry::Deliver { at, id, from, to } => {
+                write!(f, "[{at:>6}] deliver {id} {from} -> {to}")
+            }
+            TraceEntry::Inject { at, to, payload } => {
+                write!(f, "[{at:>6}] inject  -> {to}: {payload}")
+            }
+            TraceEntry::Crash {
+                at,
+                process,
+                sent_before_crash,
+            } => write!(
+                f,
+                "[{at:>6}] crash   {process} (sent {sent_before_crash} of step)"
+            ),
+            TraceEntry::Drop { at, id, reason } => {
+                write!(f, "[{at:>6}] drop    {id} ({reason:?})")
+            }
+        }
+    }
+}
+
+/// A bounded event log.
+///
+/// Once `capacity` entries have been recorded, further entries are counted
+/// but not stored, so long random runs cannot exhaust memory.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    entries: Vec<TraceEntry>,
+    capacity: usize,
+    suppressed: u64,
+}
+
+impl Trace {
+    /// Creates a trace that stores at most `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            entries: Vec::new(),
+            capacity,
+            suppressed: 0,
+        }
+    }
+
+    /// Creates a trace that stores nothing (counting only).
+    pub fn disabled() -> Self {
+        Self::with_capacity(0)
+    }
+
+    /// Records an entry (or counts it as suppressed when full).
+    pub fn record(&mut self, entry: TraceEntry) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(entry);
+        } else {
+            self.suppressed += 1;
+        }
+    }
+
+    /// The stored entries, in order.
+    pub fn entries(&self) -> &[TraceEntry] {
+        &self.entries
+    }
+
+    /// Number of entries that were recorded but not stored.
+    pub fn suppressed(&self) -> u64 {
+        self.suppressed
+    }
+
+    /// Renders the stored entries, one per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        for e in &self.entries {
+            let _ = writeln!(s, "{e}");
+        }
+        if self.suppressed > 0 {
+            let _ = writeln!(s, "... and {} suppressed entries", self.suppressed);
+        }
+        s
+    }
+}
+
+impl Default for Trace {
+    /// A generous default bound suitable for unit tests and the gallery
+    /// example.
+    fn default() -> Self {
+        Self::with_capacity(100_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send_entry(tick: u64) -> TraceEntry {
+        TraceEntry::Send {
+            at: SimTime::from_ticks(tick),
+            id: MsgId(1),
+            from: ProcessId::new(0),
+            to: ProcessId::new(1),
+            payload: "x".to_string(),
+        }
+    }
+
+    #[test]
+    fn records_until_capacity_then_counts() {
+        let mut t = Trace::with_capacity(2);
+        t.record(send_entry(1));
+        t.record(send_entry(2));
+        t.record(send_entry(3));
+        assert_eq!(t.entries().len(), 2);
+        assert_eq!(t.suppressed(), 1);
+    }
+
+    #[test]
+    fn disabled_stores_nothing() {
+        let mut t = Trace::disabled();
+        t.record(send_entry(1));
+        assert!(t.entries().is_empty());
+        assert_eq!(t.suppressed(), 1);
+    }
+
+    #[test]
+    fn entry_time_accessor() {
+        assert_eq!(send_entry(9).at(), SimTime::from_ticks(9));
+        let crash = TraceEntry::Crash {
+            at: SimTime::from_ticks(3),
+            process: ProcessId::new(1),
+            sent_before_crash: 0,
+        };
+        assert_eq!(crash.at(), SimTime::from_ticks(3));
+    }
+
+    #[test]
+    fn render_mentions_suppressed() {
+        let mut t = Trace::with_capacity(1);
+        t.record(send_entry(1));
+        t.record(send_entry(2));
+        let s = t.render();
+        assert!(s.contains("send"));
+        assert!(s.contains("suppressed"));
+    }
+
+    #[test]
+    fn display_formats_each_kind() {
+        let entries = vec![
+            send_entry(1),
+            TraceEntry::Deliver {
+                at: SimTime::ZERO,
+                id: MsgId(0),
+                from: ProcessId::new(0),
+                to: ProcessId::new(1),
+            },
+            TraceEntry::Inject {
+                at: SimTime::ZERO,
+                to: ProcessId::new(1),
+                payload: "op".into(),
+            },
+            TraceEntry::Crash {
+                at: SimTime::ZERO,
+                process: ProcessId::new(2),
+                sent_before_crash: 1,
+            },
+            TraceEntry::Drop {
+                at: SimTime::ZERO,
+                id: MsgId(4),
+                reason: DropReason::Scripted,
+            },
+        ];
+        for e in entries {
+            assert!(!format!("{e}").is_empty());
+        }
+    }
+}

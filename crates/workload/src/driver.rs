@@ -1,0 +1,221 @@
+//! Closed-loop workload driver, generic over the protocol family.
+//!
+//! The driver issues operations against a [`Cluster`] under the *timed*
+//! scheduler: each client has at most one operation outstanding (the
+//! paper's well-formedness assumption), issues the next one after an
+//! optional think time, and the simulated network delivers messages
+//! according to the cluster's delay model. Client idleness is inferred
+//! from the recorded history, which keeps the driver independent of the
+//! per-protocol automaton types.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use fastreg::harness::{Cluster, ProtocolFamily};
+use fastreg_atomicity::history::History;
+use fastreg_simnet::time::SimTime;
+
+use crate::metrics::OpBreakdown;
+
+/// Parameters of a closed-loop run.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Total operations to issue (across all clients).
+    pub n_ops: u64,
+    /// Fraction of issued operations that are writes (issued by the
+    /// writer; the rest are reads spread over the readers).
+    pub write_fraction: f64,
+    /// Ticks a client waits after completing an operation before issuing
+    /// the next.
+    pub think_time: u64,
+    /// Seed for operation scheduling (independent of the network seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    fn default() -> Self {
+        WorkloadSpec {
+            n_ops: 100,
+            write_fraction: 0.2,
+            think_time: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// What a closed-loop run produced.
+#[derive(Clone, Debug)]
+pub struct WorkloadReport {
+    /// Latency breakdown per operation kind.
+    pub breakdown: OpBreakdown,
+    /// Total messages sent during the run.
+    pub messages_sent: u64,
+    /// Virtual time at the end of the run.
+    pub duration_ticks: u64,
+    /// The recorded history (checked by the caller).
+    pub history: History,
+}
+
+impl WorkloadReport {
+    /// Messages per completed operation.
+    pub fn messages_per_op(&self) -> f64 {
+        if self.breakdown.completed == 0 {
+            return 0.0;
+        }
+        self.messages_sent as f64 / self.breakdown.completed as f64
+    }
+}
+
+/// Runs a closed-loop workload on a cluster (writer 0 writes; readers
+/// read).
+///
+/// Values written are `1, 2, 3, …` so histories stay checkable by the
+/// SWMR checker (distinct values).
+pub fn run_closed_loop<P: ProtocolFamily>(
+    cluster: &mut Cluster<P>,
+    spec: &WorkloadSpec,
+) -> WorkloadReport {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0c10_ced1);
+    let writer = cluster.layout.writer(0);
+    let readers: Vec<_> = (0..cluster.cfg.r).collect();
+    let mut next_value = 1u64;
+    let mut issued = 0u64;
+    // Earliest time each client may issue again (think time gate).
+    let mut ready_at: HashMap<u32, u64> = HashMap::new();
+
+    while issued < spec.n_ops {
+        let now = cluster.world.now().ticks();
+        // Find idle clients from the history: last op per proc complete?
+        let snapshot = cluster.history.snapshot();
+        let mut busy: HashMap<u32, bool> = HashMap::new();
+        for op in snapshot.ops() {
+            busy.insert(op.proc, !op.is_complete());
+        }
+        let is_idle = |proc: u32, busy: &HashMap<u32, bool>, ready_at: &HashMap<u32, u64>| {
+            !busy.get(&proc).copied().unwrap_or(false)
+                && ready_at.get(&proc).copied().unwrap_or(0) <= now
+        };
+
+        let mut progressed = false;
+        // Writer.
+        if rng.gen_bool(spec.write_fraction.clamp(0.0, 1.0))
+            && is_idle(writer.index(), &busy, &ready_at)
+        {
+            cluster.write(next_value);
+            next_value += 1;
+            issued += 1;
+            ready_at.insert(writer.index(), now + spec.think_time);
+            progressed = true;
+        } else if !readers.is_empty() {
+            let pick = readers[rng.gen_range(0..readers.len())];
+            let addr = cluster.layout.reader(pick).index();
+            if is_idle(addr, &busy, &ready_at) {
+                cluster.read_async(pick);
+                issued += 1;
+                ready_at.insert(addr, now + spec.think_time);
+                progressed = true;
+            }
+        }
+        if !progressed {
+            // Nothing issuable: advance the network a bit.
+            if !cluster.world.step_timed() {
+                // Nothing in transit either: jump past think times.
+                let next_ready = ready_at.values().copied().min().unwrap_or(now + 1);
+                cluster
+                    .world
+                    .advance_to(SimTime::from_ticks(next_ready.max(now + 1)));
+            }
+        }
+    }
+    cluster.settle();
+
+    let history = cluster.history.snapshot();
+    WorkloadReport {
+        breakdown: OpBreakdown::of(&history),
+        messages_sent: cluster.world.stats().sent,
+        duration_ticks: cluster.world.now().ticks(),
+        history,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg::config::ClusterConfig;
+    use fastreg::harness::{Abd, FastCrash};
+    use fastreg_atomicity::swmr::check_swmr_atomicity;
+
+    #[test]
+    fn closed_loop_completes_all_ops() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 1);
+        let report = run_closed_loop(
+            &mut c,
+            &WorkloadSpec {
+                n_ops: 50,
+                ..WorkloadSpec::default()
+            },
+        );
+        assert_eq!(report.breakdown.completed, 50);
+        assert_eq!(report.breakdown.incomplete, 0);
+        check_swmr_atomicity(&report.history).unwrap();
+    }
+
+    #[test]
+    fn fast_reads_beat_abd_reads() {
+        let spec = WorkloadSpec {
+            n_ops: 60,
+            write_fraction: 0.3,
+            think_time: 2,
+            seed: 5,
+        };
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut fast: Cluster<FastCrash> = Cluster::new(cfg, 1);
+        let fast_report = run_closed_loop(&mut fast, &spec);
+
+        let mut abd: Cluster<Abd> = Cluster::new(cfg, 1);
+        let abd_report = run_closed_loop(&mut abd, &spec);
+
+        let f = fast_report.breakdown.reads.clone().unwrap();
+        let a = abd_report.breakdown.reads.clone().unwrap();
+        // One round trip vs two: exactly 2 vs 4 ticks at unit delay.
+        assert_eq!(f.max, 2);
+        assert_eq!(a.max, 4);
+        // And fewer messages per op overall.
+        assert!(fast_report.messages_per_op() < abd_report.messages_per_op());
+    }
+
+    #[test]
+    fn zero_write_fraction_issues_only_reads() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 2);
+        let report = run_closed_loop(
+            &mut c,
+            &WorkloadSpec {
+                n_ops: 20,
+                write_fraction: 0.0,
+                ..WorkloadSpec::default()
+            },
+        );
+        assert!(report.breakdown.writes.is_none());
+        assert_eq!(report.breakdown.reads.unwrap().count, 20);
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let spec = WorkloadSpec {
+            n_ops: 30,
+            seed: 9,
+            ..WorkloadSpec::default()
+        };
+        let run = || {
+            let mut c: Cluster<FastCrash> = Cluster::new(cfg, 4);
+            let r = run_closed_loop(&mut c, &spec);
+            (r.messages_sent, r.duration_ticks, r.breakdown.completed)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,796 @@
+//! The experiment suite regenerating every `EXPERIMENTS.md` table.
+//!
+//! Each function is self-contained: it builds clusters, drives workloads
+//! or adversarial schedules, asserts the qualitative expectations drawn
+//! from the paper, and returns a rendered table. The `report` binary in
+//! `fastreg-bench` prints them; the integration tests run them.
+
+use fastreg::byz::{CounterAbuser, Forger, SeenInflater, StaleOldest, StaleReplayer, TwoFacedLoseWrite};
+use fastreg::config::ClusterConfig;
+use fastreg::harness::{
+    Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, ProtocolFamily,
+};
+use fastreg::predicate::{predicate_witness, predicate_witness_bruteforce, PredicateModel};
+use fastreg::protocols::fast_crash;
+use fastreg::types::{ClientId, RegValue};
+use fastreg_adversary::{
+    random_adversarial_search, run_byz_lb, run_crash_lb, run_mwmr_lb, LbError,
+};
+use fastreg_atomicity::regularity::check_swmr_regularity;
+use fastreg_atomicity::swmr::check_swmr_atomicity;
+use fastreg_simnet::byz::{ByzActor, Mute};
+use fastreg_simnet::delay::DelayModel;
+use fastreg_simnet::runner::SimConfig;
+
+use crate::driver::{run_closed_loop, WorkloadSpec};
+use crate::table::Table;
+
+/// E1 — Fig. 2 stays atomic under random schedules, crashes and
+/// mid-broadcast writer crashes, across feasible configurations.
+pub fn e1_fast_crash_atomicity(seeds: u64) -> Table {
+    let mut table = Table::new(vec!["S", "t", "R", "runs", "ops/run", "violations"]);
+    for (s, t, r) in [(4u32, 1u32, 1u32), (5, 1, 2), (7, 1, 4), (8, 2, 1), (10, 2, 2), (13, 3, 2)] {
+        let cfg = ClusterConfig::crash_stop(s, t, r).expect("valid");
+        assert!(cfg.fast_feasible(), "E1 configs must be feasible");
+        let out = random_adversarial_search(cfg, 0x0e1, seeds, 10);
+        assert!(
+            out.is_clean(),
+            "E1: ({s},{t},{r}) violated atomicity:\n{}",
+            out.first_violation.map(|v| v.1).unwrap_or_default()
+        );
+        table.row(vec![
+            s.to_string(),
+            t.to_string(),
+            r.to_string(),
+            out.runs.to_string(),
+            "10".into(),
+            out.violations.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E2 — read cost in message delays: fast = 2, max–min = 3, ABD = 4
+/// (writes: 2 everywhere except MWMR). Unit-delay network makes the round
+/// structure exact.
+pub fn e2_round_trips() -> Table {
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let spec = WorkloadSpec {
+        n_ops: 60,
+        write_fraction: 0.25,
+        think_time: 2,
+        seed: 2,
+    };
+    let mut table = Table::new(vec![
+        "protocol",
+        "read delays (max)",
+        "write delays (max)",
+        "msgs/op",
+        "paper says",
+    ]);
+
+    let mut fast: Cluster<FastCrash> = Cluster::new(cfg, 1);
+    let f = run_closed_loop(&mut fast, &spec);
+    check_swmr_atomicity(&f.history).expect("fast history atomic");
+    let fr = f.breakdown.reads.clone().expect("reads ran");
+    let fw = f.breakdown.writes.clone().expect("writes ran");
+    assert_eq!(fr.max, 2, "fast reads are one round trip");
+    assert_eq!(fw.max, 2, "fast writes are one round trip");
+    table.row(vec![
+        "fast (Fig. 2)".into(),
+        fr.max.to_string(),
+        fw.max.to_string(),
+        format!("{:.1}", f.messages_per_op()),
+        "1 round trip".into(),
+    ]);
+
+    let mut mm: Cluster<MaxMin> = Cluster::new(cfg, 1);
+    let m = run_closed_loop(&mut mm, &spec);
+    check_swmr_atomicity(&m.history).expect("max-min history atomic");
+    let mr = m.breakdown.reads.clone().expect("reads ran");
+    let mw = m.breakdown.writes.clone().expect("writes ran");
+    assert_eq!(mr.max, 3, "max-min reads are 3 message delays");
+    table.row(vec![
+        "max-min (§1)".into(),
+        mr.max.to_string(),
+        mw.max.to_string(),
+        format!("{:.1}", m.messages_per_op()),
+        "servers wait (not fast)".into(),
+    ]);
+
+    let mut abd: Cluster<Abd> = Cluster::new(cfg, 1);
+    let a = run_closed_loop(&mut abd, &spec);
+    check_swmr_atomicity(&a.history).expect("abd history atomic");
+    let ar = a.breakdown.reads.clone().expect("reads ran");
+    let aw = a.breakdown.writes.clone().expect("writes ran");
+    assert_eq!(ar.max, 4, "ABD reads are two round trips");
+    table.row(vec![
+        "ABD".into(),
+        ar.max.to_string(),
+        aw.max.to_string(),
+        format!("{:.1}", a.messages_per_op()),
+        "2 round trips (read writes)".into(),
+    ]);
+
+    table
+}
+
+/// E3 — the §5 lower bound: exactly at/beyond `R ≥ S/t − 2`, the scripted
+/// `prC` run produces a new/old inversion; below it, the construction is
+/// impossible and random search finds nothing.
+pub fn e3_crash_lower_bound() -> Table {
+    let mut table = Table::new(vec![
+        "S",
+        "t",
+        "R",
+        "feasible?",
+        "construction",
+        "r_R read",
+        "r1 2nd read",
+        "verdict",
+    ]);
+    for (s, t, r) in [
+        (5u32, 1u32, 2u32),
+        (5, 1, 3),
+        (5, 1, 4)/* still infeasible, more readers than blocks? R+2=6 > 5 -> NoPartition */,
+        (8, 2, 2),
+        (8, 2, 1),
+        (12, 2, 4),
+    ] {
+        let cfg = ClusterConfig::crash_stop(s, t, r).expect("valid");
+        match run_crash_lb(cfg, 0) {
+            Ok(out) => {
+                assert!(!cfg.fast_feasible());
+                table.row(vec![
+                    s.to_string(),
+                    t.to_string(),
+                    r.to_string(),
+                    "no".into(),
+                    format!("{} executed", out.violating_run),
+                    format!("{}", out.r_last_return),
+                    format!("{}", out.r1_second_return),
+                    "ATOMICITY VIOLATED".into(),
+                ]);
+            }
+            Err(LbError::ConfigIsFeasible) => {
+                let search = random_adversarial_search(cfg, 0x0e3, 30, 8);
+                assert!(search.is_clean(), "feasible config must stay atomic");
+                table.row(vec![
+                    s.to_string(),
+                    t.to_string(),
+                    r.to_string(),
+                    "yes".into(),
+                    "impossible (no block partition)".into(),
+                    "-".into(),
+                    "-".into(),
+                    format!("atomic in {} random runs", search.runs),
+                ]);
+            }
+            Err(e) => {
+                table.row(vec![
+                    s.to_string(),
+                    t.to_string(),
+                    r.to_string(),
+                    if cfg.fast_feasible() { "yes" } else { "no" }.into(),
+                    format!("skipped ({e})"),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    table
+}
+
+/// E4 — Fig. 5 stays atomic against the malicious-server behaviour
+/// library in feasible Byzantine configurations.
+pub fn e4_byz_atomicity(seeds: u64) -> Table {
+    let cfg = ClusterConfig::byzantine(6, 1, 1, 1).expect("valid");
+    assert!(cfg.fast_feasible());
+    let mut table = Table::new(vec!["behaviour", "runs", "violations"]);
+    let behaviours: Vec<(&str, BehaviourKind)> = vec![
+        ("honest", BehaviourKind::Honest),
+        ("mute (crash-like)", BehaviourKind::Mute),
+        ("stale replayer + seen lies", BehaviourKind::Stale),
+        ("seen inflater", BehaviourKind::Inflater),
+        ("signature forger", BehaviourKind::Forger),
+        ("two-faced memory loss", BehaviourKind::TwoFaced),
+        ("signed stale replay", BehaviourKind::StaleOldest),
+        ("request-counter abuse", BehaviourKind::CounterAbuser),
+    ];
+    for (name, kind) in behaviours {
+        let mut violations = 0u64;
+        for seed in 0..seeds {
+            if !byz_run_is_atomic(cfg, seed, kind) {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 0, "E4: behaviour '{name}' broke atomicity");
+        table.row(vec![name.into(), seeds.to_string(), violations.to_string()]);
+    }
+    table
+}
+
+#[derive(Clone, Copy)]
+enum BehaviourKind {
+    Honest,
+    Mute,
+    Stale,
+    Inflater,
+    Forger,
+    TwoFaced,
+    StaleOldest,
+    CounterAbuser,
+}
+
+fn byz_run_is_atomic(cfg: ClusterConfig, seed: u64, kind: BehaviourKind) -> bool {
+    let mut c: Cluster<FastByz> = Cluster::with_server_factory(
+        cfg,
+        SimConfig::default().with_seed(seed),
+        |cfg, layout, index, ctx| {
+            if index == 0 {
+                match kind {
+                    BehaviourKind::Honest => FastByz::server(cfg, layout, index, ctx),
+                    BehaviourKind::Mute => Box::new(ByzActor::new(Box::new(Mute))),
+                    BehaviourKind::Stale => Box::new(StaleReplayer::new(cfg)),
+                    BehaviourKind::Inflater => Box::new(SeenInflater::new(
+                        cfg,
+                        layout,
+                        ctx.verifier.clone(),
+                        ctx.writer_key,
+                    )),
+                    BehaviourKind::Forger => Box::new(Forger::new()),
+                    BehaviourKind::TwoFaced => Box::new(TwoFacedLoseWrite::new(
+                        cfg,
+                        layout,
+                        ctx.verifier.clone(),
+                        ctx.writer_key,
+                        layout.reader(0),
+                    )),
+                    BehaviourKind::StaleOldest => Box::new(StaleOldest::new(
+                        cfg,
+                        layout,
+                        ctx.verifier.clone(),
+                        ctx.writer_key,
+                    )),
+                    BehaviourKind::CounterAbuser => Box::new(CounterAbuser::new(
+                        cfg,
+                        layout,
+                        ctx.verifier.clone(),
+                        ctx.writer_key,
+                    )),
+                }
+            } else {
+                FastByz::server(cfg, layout, index, ctx)
+            }
+        },
+    );
+    // Mixed concurrent workload with a writer mid-broadcast crash.
+    c.write_sync(1);
+    c.read_async(0);
+    c.world
+        .arm_crash_after_sends(c.layout.writer(0), (seed % 7) as usize);
+    c.write(2);
+    c.world.run_random_until_quiescent();
+    c.read_async(0);
+    c.world.run_random_until_quiescent();
+    c.check_atomic().is_ok()
+}
+
+/// E5 — the §6.2 lower bound with memory-losing Byzantine servers.
+pub fn e5_byz_lower_bound() -> Table {
+    let mut table = Table::new(vec![
+        "S", "t", "b", "R", "feasible?", "r_R read", "r1 2nd read", "verdict",
+    ]);
+    for (s, t, b, r) in [
+        (8u32, 1u32, 1u32, 2u32), // feasible: 8 > 4 + 3
+        (7, 1, 1, 2),             // boundary: 7 <= 7
+        (9, 1, 1, 3),
+        (10, 2, 1, 2),
+    ] {
+        let cfg = ClusterConfig::byzantine(s, t, b, r).expect("valid");
+        match run_byz_lb(cfg, 0) {
+            Ok(out) => {
+                table.row(vec![
+                    s.to_string(),
+                    t.to_string(),
+                    b.to_string(),
+                    r.to_string(),
+                    "no".into(),
+                    format!("{}", out.r_last_return),
+                    format!("{}", out.r1_second_return),
+                    format!("ATOMICITY VIOLATED ({})", out.violating_run),
+                ]);
+            }
+            Err(LbError::ConfigIsFeasible) => {
+                table.row(vec![
+                    s.to_string(),
+                    t.to_string(),
+                    b.to_string(),
+                    r.to_string(),
+                    "yes".into(),
+                    "-".into(),
+                    "-".into(),
+                    "construction impossible".into(),
+                ]);
+            }
+            Err(e) => panic!("E5: unexpected error {e}"),
+        }
+    }
+    table
+}
+
+/// E6 — §7: the one-round MWMR candidate violates atomicity on the
+/// sequential two-writer pattern; the two-round MWMR ABD baseline is
+/// correct on the same pattern.
+pub fn e6_mwmr() -> Table {
+    let mut table = Table::new(vec![
+        "S",
+        "naive fast read",
+        "required (P1)",
+        "linearizable?",
+        "ABD control",
+        "chain switches?",
+    ]);
+    for s in [3u32, 4, 5] {
+        let out = run_mwmr_lb(s, 0).expect("construction runs");
+        assert_ne!(out.sequential_return, out.expected_return);
+        assert!(!out.linearizable);
+        assert_eq!(out.abd_sequential_return, RegValue::Val(1));
+        let switches = out
+            .chain_returns
+            .windows(2)
+            .filter(|w| w[0] != w[1])
+            .count();
+        table.row(vec![
+            s.to_string(),
+            format!("{}", out.sequential_return),
+            format!("{}", out.expected_return),
+            out.linearizable.to_string(),
+            format!("{}", out.abd_sequential_return),
+            format!("{switches} (one-round writes cannot switch)"),
+        ]);
+    }
+    table
+}
+
+/// E7 — §8's trade-off: the fast *regular* register serves unboundedly
+/// many readers at `t < S/2` (far beyond the atomic fast bound) and stays
+/// regular, but exhibits real new/old inversions — the price of speed.
+pub fn e7_regular_tradeoff(seeds: u64) -> Table {
+    let cfg = ClusterConfig::crash_stop(5, 2, 6).expect("valid");
+    assert!(!cfg.fast_feasible(), "far beyond the atomic fast bound");
+    assert!(cfg.fast_regular_feasible());
+
+    let mut regular_ok = 0u64;
+    let mut atomic_violations = 0u64;
+    for seed in 0..seeds {
+        let mut c: Cluster<FastRegular> = Cluster::new(cfg, seed);
+        c.world
+            .arm_crash_after_sends(c.layout.writer(0), (seed % 6) as usize);
+        c.write(1);
+        for i in 0..cfg.r {
+            c.read_async(i);
+        }
+        c.world.run_random_until_quiescent();
+        // Sequential second round of reads to expose inversions.
+        for i in 0..cfg.r {
+            c.world.advance_to(fastreg_simnet::time::SimTime::from_ticks(
+                c.world.now().ticks() + 10,
+            ));
+            c.read_async(i);
+            c.world.run_random_until_quiescent();
+        }
+        let h = c.snapshot();
+        if check_swmr_regularity(&h).is_ok() {
+            regular_ok += 1;
+        }
+        if check_swmr_atomicity(&h).is_err() {
+            atomic_violations += 1;
+        }
+    }
+    assert_eq!(regular_ok, seeds, "E7: regularity must always hold");
+    assert!(
+        atomic_violations > 0,
+        "E7: expected at least one new/old inversion across {seeds} seeds"
+    );
+    let mut table = Table::new(vec!["property", "runs", "holds in"]);
+    table.row(vec![
+        "regularity (fast regular, R=6, t=2, S=5)".into(),
+        seeds.to_string(),
+        format!("{regular_ok}/{seeds}"),
+    ]);
+    table.row(vec![
+        "atomicity (same histories)".into(),
+        seeds.to_string(),
+        format!("{}/{seeds}", seeds - atomic_violations),
+    ]);
+    table
+}
+
+/// E8 — the feasibility frontier: the experimental verdict (random search
+/// clean vs. scripted violation) must agree with the closed form
+/// `S > (R+2)t + (R+1)b` at every grid point where the construction's
+/// hypotheses hold.
+pub fn e8_frontier() -> Table {
+    let mut table = Table::new(vec![
+        "S", "t", "b", "R", "formula", "experiment", "agree?",
+    ]);
+    let mut grid: Vec<(u32, u32, u32, u32)> = Vec::new();
+    for s in [5u32, 6, 7, 8, 9, 10, 12] {
+        for (t, b) in [(1u32, 0u32), (2, 0), (1, 1)] {
+            for r in [2u32, 3, 4] {
+                grid.push((s, t, b, r));
+            }
+        }
+    }
+    for (s, t, b, r) in grid {
+        if t > s {
+            continue;
+        }
+        let cfg = ClusterConfig::byzantine(s, t, b, r).expect("valid");
+        let formula = cfg.fast_feasible();
+        let experiment: Option<bool> = if formula {
+            if b == 0 {
+                let search = random_adversarial_search(cfg, 0x0e8, 15, 8);
+                Some(search.is_clean())
+            } else {
+                // Feasible Byzantine point: behaviour matrix must be clean.
+                Some((0..5).all(|seed| byz_run_is_atomic(cfg, seed, BehaviourKind::TwoFaced)))
+            }
+        } else {
+            // Infeasible: the scripted construction must violate.
+            let result = if b == 0 {
+                run_crash_lb(cfg, 0).map(|_| false).map_err(Some)
+            } else {
+                run_byz_lb(cfg, 0).map(|_| false).map_err(Some)
+            };
+            match result {
+                Ok(v) => Some(v),
+                Err(Some(LbError::NoPartition)) => None, // hypotheses unmet
+                Err(_) => None,
+            }
+        };
+        let (exp_str, agree) = match experiment {
+            Some(v) => (
+                if v { "atomic" } else { "violated" }.to_string(),
+                v == formula,
+            ),
+            None => ("n/a (proof hypotheses unmet)".into(), true),
+        };
+        assert!(agree, "E8 mismatch at ({s},{t},{b},{r})");
+        table.row(vec![
+            s.to_string(),
+            t.to_string(),
+            b.to_string(),
+            r.to_string(),
+            if formula { "fast" } else { "not fast" }.into(),
+            exp_str,
+            "yes".into(),
+        ]);
+    }
+    table
+}
+
+/// E9 — simulated latency distributions under non-trivial delay models:
+/// the fast read's advantage persists (roughly 2× vs ABD) across delay
+/// shapes.
+pub fn e9_latency() -> Table {
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let spec = WorkloadSpec {
+        n_ops: 120,
+        write_fraction: 0.2,
+        think_time: 5,
+        seed: 9,
+    };
+    let delays: Vec<(&str, DelayModel)> = vec![
+        ("uniform 5..50", DelayModel::Uniform { lo: 5, hi: 50 }),
+        (
+            "spiky (5% stragglers ×20)",
+            DelayModel::Spike {
+                base: 10,
+                spike_prob: 0.05,
+                spike: 200,
+            },
+        ),
+        (
+            "two-zone (1 far server)",
+            DelayModel::TwoZone {
+                far_members: vec![fastreg::layout::Layout::of(&cfg).server(4)],
+                near: 10,
+                far: 60,
+            },
+        ),
+    ];
+    let mut table = Table::new(vec![
+        "delay model",
+        "fast read p50/p95",
+        "ABD read p50/p95",
+        "p50 ratio",
+    ]);
+    for (name, delay) in delays {
+        let sim = SimConfig::default().with_seed(11).with_delay(delay);
+        let mut fast: Cluster<FastCrash> = Cluster::with_sim_config(cfg, sim.clone());
+        let f = run_closed_loop(&mut fast, &spec);
+        check_swmr_atomicity(&f.history).expect("atomic");
+        let fr = f.breakdown.reads.expect("reads ran");
+
+        let mut abd: Cluster<Abd> = Cluster::with_sim_config(cfg, sim);
+        let a = run_closed_loop(&mut abd, &spec);
+        check_swmr_atomicity(&a.history).expect("atomic");
+        let ar = a.breakdown.reads.expect("reads ran");
+
+        let ratio = ar.p50 as f64 / fr.p50.max(1) as f64;
+        assert!(
+            ratio > 1.4,
+            "E9: fast should be well ahead of ABD (got {ratio:.2} on {name})"
+        );
+        table.row(vec![
+            name.into(),
+            format!("{}/{}", fr.p50, fr.p95),
+            format!("{}/{}", ar.p50, ar.p95),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    table
+}
+
+/// E10 — predicate internals: which witness level `a` justifies fast
+/// reads in practice, and exact-vs-bruteforce agreement.
+pub fn e10_predicate() -> Table {
+    // Witness histogram over a concurrent workload.
+    let cfg = ClusterConfig::crash_stop(7, 1, 4).expect("valid");
+    let mut c: Cluster<FastCrash> = Cluster::new(cfg, 3);
+    for round in 0..30u64 {
+        c.write(round + 1);
+        for i in 0..cfg.r {
+            c.read_async(i);
+        }
+        c.world.run_random_until_quiescent();
+    }
+    c.check_atomic().expect("atomic");
+    let mut histogram: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+    let mut conservative = 0u64;
+    for i in 0..cfg.r {
+        let addr = c.layout.reader(i);
+        let (h, cons) = c
+            .world
+            .with_actor::<fast_crash::Reader, _, _>(addr, |r| {
+                (r.witness_histogram.clone(), r.conservative_reads)
+            })
+            .expect("reader present");
+        for (a, n) in h {
+            *histogram.entry(a).or_insert(0) += n;
+        }
+        conservative += cons;
+    }
+
+    // Exact vs brute force on random seen-sets.
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(10);
+    let mut agreements = 0u64;
+    let cases = 300u64;
+    for _ in 0..cases {
+        let s = rng.gen_range(3..8u32);
+        let t = rng.gen_range(1..=2u32).min(s / 2).max(1);
+        let r = rng.gen_range(1..4u32);
+        let n = rng.gen_range(0..=6usize);
+        let clients: Vec<ClientId> = std::iter::once(ClientId::WRITER)
+            .chain((0..r).map(ClientId::reader))
+            .collect();
+        let seens: Vec<std::collections::BTreeSet<ClientId>> = (0..n)
+            .map(|_| {
+                clients
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.gen_bool(0.5))
+                    .collect()
+            })
+            .collect();
+        let a = predicate_witness(s, t, r, PredicateModel::Crash, &seens);
+        let b = predicate_witness_bruteforce(s, t, r, PredicateModel::Crash, &seens);
+        if a == b {
+            agreements += 1;
+        }
+    }
+    assert_eq!(agreements, cases, "E10: exact and brute force must agree");
+
+    let mut table = Table::new(vec!["measure", "value"]);
+    for (a, n) in &histogram {
+        table.row(vec![
+            format!("reads justified at witness level a = {a}"),
+            n.to_string(),
+        ]);
+    }
+    table.row(vec![
+        "conservative reads (returned maxTS − 1)".into(),
+        conservative.to_string(),
+    ]);
+    table.row(vec![
+        "exact vs brute-force predicate agreement".into(),
+        format!("{agreements}/{cases}"),
+    ]);
+    table
+}
+
+/// E11 — the `R = 1` corner the theorem's lower bound leaves open
+/// (Proposition 5 needs `R ≥ 2`): the §1 single-reader trick gives a fast
+/// register at plain majority resilience `t < S/2`, strictly weaker than
+/// the general protocol's `S > 3t`.
+pub fn e11_single_reader(seeds: u64) -> Table {
+    use fastreg::harness::SwsrFast;
+    let mut table = Table::new(vec![
+        "S",
+        "t",
+        "general bound S > 3t?",
+        "majority t < S/2?",
+        "SWSR runs",
+        "violations",
+    ]);
+    for (s, t) in [(3u32, 1u32), (5, 2), (7, 3), (4, 1)] {
+        let cfg = ClusterConfig::crash_stop(s, t, 1).expect("valid");
+        let mut violations = 0u64;
+        for seed in 0..seeds {
+            let mut c: Cluster<SwsrFast> = Cluster::new(cfg, seed);
+            c.world
+                .arm_crash_after_sends(c.layout.writer(0), (seed % (s as u64 + 1)) as usize);
+            c.write(1);
+            c.read_async(0);
+            c.world.run_random_until_quiescent();
+            c.read_async(0);
+            c.world.run_random_until_quiescent();
+            c.read_async(0);
+            c.world.run_random_until_quiescent();
+            if check_swmr_atomicity(&c.snapshot()).is_err() {
+                violations += 1;
+            }
+        }
+        assert_eq!(violations, 0, "E11: SWSR broke atomicity at ({s},{t})");
+        table.row(vec![
+            s.to_string(),
+            t.to_string(),
+            if cfg.fast_feasible() { "yes" } else { "no" }.into(),
+            if cfg.fast_regular_feasible() { "yes" } else { "no" }.into(),
+            seeds.to_string(),
+            violations.to_string(),
+        ]);
+    }
+    table
+}
+
+/// E12 — bounded-exhaustive schedule exploration: systematically
+/// enumerated delivery interleavings (not just random samples) find no
+/// violation of the Fig. 2 protocol in the feasible regime.
+pub fn e12_exploration(budget: u64) -> Table {
+    use fastreg_adversary::{explore_fast_crash, OpScript};
+    let mut table = Table::new(vec![
+        "S",
+        "t",
+        "R",
+        "script",
+        "schedules checked",
+        "violations",
+    ]);
+    let cases: Vec<(u32, u32, u32, OpScript, &str)> = vec![
+        (
+            4,
+            1,
+            1,
+            OpScript::write_vs_reads(1, [0]),
+            "write ∥ read",
+        ),
+        (
+            5,
+            1,
+            2,
+            OpScript::write_vs_reads(1, [0, 1]),
+            "write ∥ 2 reads",
+        ),
+        (
+            4,
+            1,
+            1,
+            OpScript {
+                writes: vec![1, 2],
+                readers: vec![0],
+            },
+            "2 writes ∥ read",
+        ),
+    ];
+    for (s, t, r, script, label) in cases {
+        let cfg = ClusterConfig::crash_stop(s, t, r).expect("valid");
+        assert!(cfg.fast_feasible());
+        let out = explore_fast_crash(cfg, &script, budget);
+        assert!(
+            out.is_clean(),
+            "E12: exploration found a violation at ({s},{t},{r}): {:?}",
+            out.violation
+        );
+        table.row(vec![
+            s.to_string(),
+            t.to_string(),
+            r.to_string(),
+            label.into(),
+            format!(
+                "{}{}",
+                out.schedules,
+                if out.truncated { " (budget)" } else { " (complete)" }
+            ),
+            "0".into(),
+        ]);
+    }
+    table
+}
+
+/// E13 — ablation of the `seen` sets (§4): every count-only predicate
+/// threshold `k` is refuted by a scripted schedule, in a configuration
+/// where the real Fig. 2 protocol is provably safe. The `seen` sets are
+/// not an optimization; they are load-bearing.
+pub fn e13_seen_ablation() -> Table {
+    use fastreg_adversary::refute_count_predicate;
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    assert!(cfg.fast_feasible(), "the real protocol is safe here");
+    let mut table = Table::new(vec![
+        "threshold k",
+        "refuting schedule",
+        "violated condition",
+    ]);
+    for k in 1..=cfg.s {
+        let out = refute_count_predicate(cfg, k).expect("hypotheses hold");
+        let condition = match out.violation {
+            fastreg_atomicity::swmr::AtomicityViolation::MissedPrecedingWrite { .. } => {
+                "(2) read missed a completed write"
+            }
+            fastreg_atomicity::swmr::AtomicityViolation::NewOldInversion { .. } => {
+                "(4) new/old inversion"
+            }
+            _ => "other",
+        };
+        table.row(vec![k.to_string(), out.schedule.into(), condition.into()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e2_runs_and_orders_protocols() {
+        let t = e2_round_trips();
+        assert_eq!(t.len(), 3);
+        let s = t.render();
+        assert!(s.contains("fast (Fig. 2)"));
+        assert!(s.contains("ABD"));
+    }
+
+    #[test]
+    fn e3_covers_both_sides_of_the_bound() {
+        let t = e3_crash_lower_bound();
+        let s = t.render();
+        assert!(s.contains("ATOMICITY VIOLATED"));
+        assert!(s.contains("impossible (no block partition)"));
+    }
+
+    #[test]
+    fn e5_runs() {
+        let s = e5_byz_lower_bound().render();
+        assert!(s.contains("ATOMICITY VIOLATED"));
+        assert!(s.contains("construction impossible"));
+    }
+
+    #[test]
+    fn e6_runs() {
+        let s = e6_mwmr().render();
+        assert!(s.contains("false"));
+    }
+
+    #[test]
+    fn e10_runs() {
+        let s = e10_predicate().render();
+        assert!(s.contains("witness level"));
+        assert!(s.contains("300/300"));
+    }
+}

@@ -1,0 +1,37 @@
+//! # fastreg-workload
+//!
+//! Workload generation, metrics, and the experiment harness that
+//! regenerates every table in `EXPERIMENTS.md`.
+//!
+//! The paper is a theory paper; its "evaluation" is a set of theorems and
+//! proof constructions. The experiments here make each one measurable:
+//!
+//! | id | paper artifact | entry point |
+//! |----|----------------|-------------|
+//! | E1 | Fig. 2 correctness under faults | [`experiments::e1_fast_crash_atomicity`] |
+//! | E2 | one-round reads vs baselines | [`experiments::e2_round_trips`] |
+//! | E3 | §5 lower bound | [`experiments::e3_crash_lower_bound`] |
+//! | E4 | Fig. 5 correctness under Byzantine servers | [`experiments::e4_byz_atomicity`] |
+//! | E5 | §6.2 lower bound | [`experiments::e5_byz_lower_bound`] |
+//! | E6 | §7 MWMR impossibility | [`experiments::e6_mwmr`] |
+//! | E7 | §8 regular-vs-atomic trade-off | [`experiments::e7_regular_tradeoff`] |
+//! | E8 | §9 feasibility frontier | [`experiments::e8_frontier`] |
+//! | E9 | latency distributions | [`experiments::e9_latency`] |
+//! | E10 | predicate internals | [`experiments::e10_predicate`] |
+//! | E11 | §1 single-reader corner | [`experiments::e11_single_reader`] |
+//! | E12 | exhaustive schedule exploration | [`experiments::e12_exploration`] |
+//! | E13 | seen-set ablation | [`experiments::e13_seen_ablation`] |
+//!
+//! Each experiment returns a rendered table (and asserts its own internal
+//! expectations); the `report` binary in `fastreg-bench` prints them.
+
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod experiments;
+pub mod metrics;
+pub mod table;
+
+pub use driver::{run_closed_loop, WorkloadReport, WorkloadSpec};
+pub use metrics::{LatencyStats, OpBreakdown};
+pub use table::Table;

@@ -1,0 +1,139 @@
+//! Metrics derived from operation histories and network statistics.
+
+use fastreg_atomicity::history::{History, OpKind};
+
+/// Latency statistics over a set of operations, in ticks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LatencyStats {
+    /// Number of completed operations measured.
+    pub count: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// Maximum.
+    pub max: u64,
+    /// Minimum.
+    pub min: u64,
+}
+
+impl LatencyStats {
+    /// Computes stats from raw latencies. Returns `None` for empty input.
+    pub fn from_latencies(mut lat: Vec<u64>) -> Option<Self> {
+        if lat.is_empty() {
+            return None;
+        }
+        lat.sort_unstable();
+        let count = lat.len() as u64;
+        let sum: u128 = lat.iter().map(|&l| l as u128).sum();
+        let pct = |p: f64| -> u64 {
+            let idx = ((lat.len() as f64 - 1.0) * p).floor() as usize;
+            lat[idx]
+        };
+        Some(LatencyStats {
+            count,
+            mean: sum as f64 / count as f64,
+            p50: pct(0.50),
+            p95: pct(0.95),
+            max: *lat.last().expect("nonempty"),
+            min: lat[0],
+        })
+    }
+}
+
+/// Per-kind latency breakdown of a history.
+#[derive(Clone, Debug)]
+pub struct OpBreakdown {
+    /// Read latency stats (completed reads only).
+    pub reads: Option<LatencyStats>,
+    /// Write latency stats (completed writes only).
+    pub writes: Option<LatencyStats>,
+    /// Completed operations.
+    pub completed: u64,
+    /// Operations that never completed (pending at the end of the run).
+    pub incomplete: u64,
+}
+
+impl OpBreakdown {
+    /// Computes the breakdown of a history.
+    pub fn of(history: &History) -> Self {
+        let mut reads = Vec::new();
+        let mut writes = Vec::new();
+        let mut incomplete = 0;
+        for op in history.ops() {
+            match op.responded_at {
+                Some(resp) => {
+                    let lat = resp - op.invoked_at;
+                    match op.kind {
+                        OpKind::Read => reads.push(lat),
+                        OpKind::Write { .. } => writes.push(lat),
+                    }
+                }
+                None => incomplete += 1,
+            }
+        }
+        let completed = (reads.len() + writes.len()) as u64;
+        OpBreakdown {
+            reads: LatencyStats::from_latencies(reads),
+            writes: LatencyStats::from_latencies(writes),
+            completed,
+            incomplete,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fastreg_atomicity::history::RegValue;
+
+    #[test]
+    fn stats_from_empty_is_none() {
+        assert_eq!(LatencyStats::from_latencies(vec![]), None);
+    }
+
+    #[test]
+    fn stats_computes_percentiles() {
+        let lat: Vec<u64> = (1..=100).collect();
+        let s = LatencyStats::from_latencies(lat).unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.p50, 50);
+        assert_eq!(s.p95, 95);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_single_sample() {
+        let s = LatencyStats::from_latencies(vec![7]).unwrap();
+        assert_eq!(s.p50, 7);
+        assert_eq!(s.p95, 7);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn breakdown_partitions_kinds() {
+        let mut h = History::new();
+        let w = h.invoke_write(0, 1, 0);
+        h.respond(w, None, 2);
+        let r = h.invoke_read(1, 3);
+        h.respond(r, Some(RegValue::Val(1)), 7);
+        h.invoke_read(2, 8); // incomplete
+        let b = OpBreakdown::of(&h);
+        assert_eq!(b.completed, 2);
+        assert_eq!(b.incomplete, 1);
+        assert_eq!(b.writes.unwrap().max, 2);
+        assert_eq!(b.reads.unwrap().max, 4);
+    }
+
+    #[test]
+    fn breakdown_of_empty_history() {
+        let b = OpBreakdown::of(&History::new());
+        assert!(b.reads.is_none());
+        assert!(b.writes.is_none());
+        assert_eq!(b.completed, 0);
+    }
+}

@@ -1,0 +1,48 @@
+//! # fastreg-suite
+//!
+//! Facade crate for the `fastreg` workspace — a from-scratch reproduction
+//! of *How Fast can a Distributed Atomic Read be?* (Dutta, Guerraoui,
+//! Levy, Vukolić; PODC 2004).
+//!
+//! This crate re-exports the workspace's public surface so that examples
+//! and integration tests can use a single import root:
+//!
+//! ```
+//! use fastreg_suite::prelude::*;
+//!
+//! let config = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+//! assert!(config.fast_feasible());
+//! ```
+//!
+//! See the individual crates for the full documentation:
+//!
+//! * [`fastreg`] — the paper's protocols (Fig. 2, Fig. 5) and baselines.
+//! * [`fastreg_simnet`] — deterministic discrete-event simulation substrate.
+//! * [`fastreg_auth`] — simulated digital signatures (§6 substitution).
+//! * [`fastreg_atomicity`] — atomicity / linearizability / regularity checkers.
+//! * [`fastreg_adversary`] — the lower-bound proofs (§5, §6.2, §7) as code.
+//! * [`fastreg_workload`] — workload generators and the experiment harness.
+
+#![warn(missing_docs)]
+
+pub use fastreg;
+pub use fastreg_adversary;
+pub use fastreg_atomicity;
+pub use fastreg_auth;
+pub use fastreg_simnet;
+pub use fastreg_workload;
+
+/// Commonly used items, re-exported for examples and tests.
+pub mod prelude {
+    pub use fastreg::config::ClusterConfig;
+    pub use fastreg::harness::{
+        Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, MwmrAbd, MwmrNaiveFast,
+        ProtocolFamily,
+    };
+    pub use fastreg::types::{ClientId, RegValue, Role, TaggedValue, Timestamp, Value};
+    pub use fastreg_atomicity::history::History;
+    pub use fastreg_atomicity::linearizability::check_linearizable;
+    pub use fastreg_atomicity::regularity::check_swmr_regularity;
+    pub use fastreg_atomicity::swmr::check_swmr_atomicity;
+    pub use fastreg_simnet::runner::SimConfig;
+}

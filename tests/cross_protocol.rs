@@ -1,0 +1,165 @@
+//! Cross-crate integration: the same operation sequences across every
+//! SWMR protocol must agree on results wherever both protocols are in
+//! their feasible regime.
+
+use fastreg_suite::prelude::*;
+
+/// Drives the same deterministic op sequence and returns the read values.
+fn drive<P: ProtocolFamily>(cfg: ClusterConfig, seed: u64) -> Vec<RegValue> {
+    let mut c: Cluster<P> = Cluster::new(cfg, seed);
+    let mut reads = Vec::new();
+    reads.push(c.read(0)); // before any write: ⊥
+    c.write_sync(11);
+    reads.push(c.read(0));
+    reads.push(c.read(1 % cfg.r.max(1)));
+    c.write_sync(22);
+    c.write_sync(33);
+    reads.push(c.read(0));
+    c.check_atomic().expect("atomic history");
+    reads
+}
+
+#[test]
+fn all_swmr_protocols_agree_on_sequential_runs() {
+    let expected = vec![
+        RegValue::Bottom,
+        RegValue::Val(11),
+        RegValue::Val(11),
+        RegValue::Val(33),
+    ];
+    let fast_cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let maj_cfg = ClusterConfig::crash_stop(5, 2, 2).unwrap();
+    let byz_cfg = ClusterConfig::byzantine(6, 1, 1, 1).unwrap();
+
+    assert_eq!(drive::<FastCrash>(fast_cfg, 1), expected);
+    assert_eq!(drive::<Abd>(maj_cfg, 1), expected);
+    assert_eq!(drive::<MaxMin>(maj_cfg, 1), expected);
+    let byz_expected = vec![
+        RegValue::Bottom,
+        RegValue::Val(11),
+        RegValue::Val(11),
+        RegValue::Val(33),
+    ];
+    assert_eq!(drive::<FastByz>(byz_cfg, 1), byz_expected);
+}
+
+#[test]
+fn regular_register_agrees_when_sequential() {
+    // Without concurrency, regular = atomic.
+    let cfg = ClusterConfig::crash_stop(5, 2, 2).unwrap();
+    let mut c: Cluster<FastRegular> = Cluster::new(cfg, 3);
+    assert_eq!(c.read(0), RegValue::Bottom);
+    c.write_sync(7);
+    assert_eq!(c.read(1), RegValue::Val(7));
+    c.check_regular().unwrap();
+    c.check_atomic().unwrap(); // sequential histories are even atomic
+}
+
+#[test]
+fn same_seed_same_history_across_protocol_instances() {
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let run = || {
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 99);
+        c.write(1);
+        c.read_async(0);
+        c.read_async(1);
+        c.world.run_random_until_quiescent();
+        c.snapshot().render()
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn mwmr_abd_handles_interleaved_writers() {
+    let cfg = ClusterConfig::mwmr(5, 1, 2, 2).unwrap();
+    for seed in 0..10 {
+        let mut c: Cluster<MwmrAbd> = Cluster::new(cfg, seed);
+        c.write_by(0, 1);
+        c.write_by(1, 2);
+        c.read_async(0);
+        c.read_async(1);
+        c.world.run_random_until_quiescent();
+        assert_eq!(c.check_linearizable(), Ok(true), "seed {seed}");
+    }
+}
+
+#[test]
+fn crashed_quorum_minus_one_still_serves() {
+    // Crash exactly t servers in every protocol; everything still works.
+    let fast_cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let mut c: Cluster<FastCrash> = Cluster::new(fast_cfg, 2);
+    c.world.crash(c.layout.server(2));
+    c.write_sync(5);
+    assert_eq!(c.read(0), RegValue::Val(5));
+
+    let maj_cfg = ClusterConfig::crash_stop(5, 2, 2).unwrap();
+    let mut c: Cluster<Abd> = Cluster::new(maj_cfg, 2);
+    c.world.crash(c.layout.server(0));
+    c.world.crash(c.layout.server(1));
+    c.write_sync(5);
+    assert_eq!(c.read(1), RegValue::Val(5));
+}
+
+#[test]
+fn partitioned_minority_does_not_block_fast_register() {
+    // Partition t = 1 server away from everyone; the register keeps
+    // serving. Heal; the straggler catches up via in-transit messages.
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let mut c: Cluster<FastCrash> = Cluster::new(cfg, 11);
+    let isolated = c.layout.server(4);
+    let everyone: Vec<_> = c
+        .world
+        .actor_ids()
+        .filter(|&p| p != isolated)
+        .collect();
+    c.world.partition(&[isolated], &everyone);
+
+    c.write_sync(1);
+    assert_eq!(c.read(0), RegValue::Val(1));
+    c.write_sync(2);
+    assert_eq!(c.read(1), RegValue::Val(2));
+
+    c.world.heal_partition(&[isolated], &everyone);
+    c.settle();
+    // The healed server received the parked writes.
+    let ts = c
+        .world
+        .with_actor::<fastreg_suite::fastreg::protocols::fast_crash::Server, _, _>(
+            isolated,
+            |s| s.ts,
+        )
+        .unwrap();
+    assert_eq!(ts, Timestamp(2));
+    c.check_atomic().unwrap();
+}
+
+#[test]
+fn partition_of_more_than_t_servers_stalls_but_stays_safe() {
+    // Isolate 2 > t servers: operations cannot complete (wait-freedom
+    // needs S − t responsive servers), but nothing unsafe happens, and
+    // healing lets the pending operations finish.
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let mut c: Cluster<FastCrash> = Cluster::new(cfg, 12);
+    let cut: Vec<_> = vec![c.layout.server(3), c.layout.server(4)];
+    let rest: Vec<_> = c
+        .world
+        .actor_ids()
+        .filter(|p| !cut.contains(p))
+        .collect();
+    c.world.partition(&cut, &rest);
+
+    c.write(1);
+    c.settle(); // drains what it can; the write stays pending
+    let pending_writes = c
+        .snapshot()
+        .writes()
+        .filter(|w| !w.is_complete())
+        .count();
+    assert_eq!(pending_writes, 1);
+
+    c.world.heal_partition(&cut, &rest);
+    c.settle();
+    assert!(c.snapshot().writes().all(|w| w.is_complete()));
+    assert_eq!(c.read(0), RegValue::Val(1));
+    c.check_atomic().unwrap();
+}

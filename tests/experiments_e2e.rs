@@ -1,0 +1,80 @@
+//! End-to-end runs of every experiment in the EXPERIMENTS.md suite.
+//!
+//! Each experiment function asserts its own qualitative expectations
+//! internally (e.g. "the feasible side finds no violation", "prC
+//! violates"); these tests additionally sanity-check the rendered tables.
+
+use fastreg_suite::fastreg_workload::experiments as exp;
+
+#[test]
+fn e1_fast_crash_atomicity_is_clean() {
+    let t = exp::e1_fast_crash_atomicity(8);
+    assert_eq!(t.len(), 6);
+    let s = t.render();
+    assert!(s.lines().skip(2).all(|l| l.trim_end().ends_with('0')));
+}
+
+#[test]
+fn e2_round_trip_structure() {
+    let s = exp::e2_round_trips().render();
+    assert!(s.contains("fast (Fig. 2)"));
+    assert!(s.contains("max-min"));
+    assert!(s.contains("ABD"));
+}
+
+#[test]
+fn e3_lower_bound_both_sides() {
+    let s = exp::e3_crash_lower_bound().render();
+    assert!(s.contains("ATOMICITY VIOLATED"));
+    assert!(s.contains("atomic in"));
+}
+
+#[test]
+fn e4_byzantine_behaviour_matrix() {
+    let t = exp::e4_byz_atomicity(6);
+    assert_eq!(t.len(), 8); // eight behaviours
+}
+
+#[test]
+fn e5_byzantine_lower_bound() {
+    let s = exp::e5_byz_lower_bound().render();
+    assert!(s.contains("ATOMICITY VIOLATED"));
+    assert!(s.contains("construction impossible"));
+}
+
+#[test]
+fn e6_mwmr_refutation() {
+    let s = exp::e6_mwmr().render();
+    assert!(s.contains("false")); // never linearizable
+}
+
+#[test]
+fn e7_regular_tradeoff() {
+    let s = exp::e7_regular_tradeoff(8).render();
+    assert!(s.contains("regularity"));
+}
+
+#[test]
+fn e8_frontier_agrees_everywhere() {
+    let t = exp::e8_frontier();
+    // Every row asserts agreement internally; the table must be nonempty
+    // and every row says "yes".
+    assert!(t.len() > 30);
+    let s = t.render();
+    for line in s.lines().skip(2) {
+        assert!(line.trim_end().ends_with("yes"), "row: {line}");
+    }
+}
+
+#[test]
+fn e9_latency_distributions() {
+    let s = exp::e9_latency().render();
+    assert!(s.contains("uniform"));
+    assert!(s.contains("x")); // a ratio column
+}
+
+#[test]
+fn e10_predicate_internals() {
+    let s = exp::e10_predicate().render();
+    assert!(s.contains("witness level"));
+}

@@ -1,0 +1,79 @@
+//! Integration tests for the feasibility frontier: both directions of the
+//! paper's iff, at and around the bound.
+
+use fastreg_suite::fastreg_adversary::{
+    random_adversarial_search, run_byz_lb, run_crash_lb, run_mwmr_lb, LbError,
+};
+use fastreg_suite::prelude::*;
+
+#[test]
+fn crash_bound_is_tight_at_s5_t1() {
+    // S = 5, t = 1: R = 2 fast, R = 3 not — the paper's running example.
+    let feasible = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    assert!(feasible.fast_feasible());
+    assert!(random_adversarial_search(feasible, 1, 25, 10).is_clean());
+
+    let infeasible = ClusterConfig::crash_stop(5, 1, 3).unwrap();
+    assert!(!infeasible.fast_feasible());
+    let out = run_crash_lb(infeasible, 1).unwrap();
+    assert!(!out.violating_run.is_empty());
+}
+
+#[test]
+fn byz_bound_is_tight_at_t1_b1_r2() {
+    // S > (R+2)t + (R+1)b = 7: S = 8 fast, S = 7 not.
+    let feasible = ClusterConfig::byzantine(8, 1, 1, 2).unwrap();
+    assert!(feasible.fast_feasible());
+    assert!(matches!(
+        run_byz_lb(feasible, 0),
+        Err(LbError::ConfigIsFeasible)
+    ));
+
+    let infeasible = ClusterConfig::byzantine(7, 1, 1, 2).unwrap();
+    assert!(!infeasible.fast_feasible());
+    let out = run_byz_lb(infeasible, 0).unwrap();
+    assert_eq!(out.violating_run, "prC");
+}
+
+#[test]
+fn byzantine_bound_reduces_to_crash_bound_when_b_zero() {
+    for s in 4..14u32 {
+        for t in 1..=3u32 {
+            if t > s {
+                continue;
+            }
+            for r in 1..5u32 {
+                let crash = ClusterConfig::crash_stop(s, t, r).unwrap();
+                let byz0 = ClusterConfig::byzantine(s, t, 0, r).unwrap();
+                assert_eq!(crash.fast_feasible(), byz0.fast_feasible(), "({s},{t},{r})");
+            }
+        }
+    }
+}
+
+#[test]
+fn mwmr_impossibility_holds_across_sizes() {
+    for s in [2u32, 4, 6] {
+        let out = run_mwmr_lb(s, 0).unwrap();
+        assert!(!out.linearizable, "S = {s}");
+        assert_ne!(out.sequential_return, out.expected_return, "S = {s}");
+    }
+}
+
+#[test]
+fn single_reader_bound_matches_intro_discussion() {
+    // §1: with a single reader fast is possible — but (the footnote the
+    // theorem sharpens) only when S > 3t.
+    assert!(ClusterConfig::crash_stop(4, 1, 1).unwrap().fast_feasible());
+    assert!(!ClusterConfig::crash_stop(3, 1, 1).unwrap().fast_feasible());
+    // And ABD-style majority (t < S/2) is NOT enough for two readers:
+    assert!(!ClusterConfig::crash_stop(5, 2, 2).unwrap().fast_feasible());
+}
+
+#[test]
+fn regular_registers_do_not_have_the_bound() {
+    // §8: fast regular registers exist iff t < S/2, for any R.
+    let cfg = ClusterConfig::crash_stop(5, 2, 100).unwrap();
+    assert!(cfg.fast_regular_feasible());
+    assert!(!cfg.fast_feasible());
+}

@@ -1,0 +1,103 @@
+//! Integration: the same protocol automata over the wall-clock threaded
+//! runtime produce atomic histories, just like under simulation.
+
+use fastreg_suite::fastreg::harness::ProtocolFamily;
+use fastreg_suite::fastreg::layout::Layout;
+use fastreg_suite::fastreg_atomicity::history::SharedHistory;
+use fastreg_suite::fastreg_simnet::automaton::Automaton;
+use fastreg_suite::fastreg_simnet::threaded::ThreadedNet;
+use fastreg_suite::prelude::*;
+
+fn automata<P: ProtocolFamily>(
+    cfg: ClusterConfig,
+    history: &SharedHistory,
+) -> Vec<Box<dyn Automaton<Msg = P::Msg>>> {
+    let layout = Layout::of(&cfg);
+    let mut ctx = P::make_ctx(&cfg, 7);
+    let mut v: Vec<Box<dyn Automaton<Msg = P::Msg>>> = Vec::new();
+    for i in 0..cfg.w {
+        v.push(P::writer(&cfg, layout, i, history.clone(), &mut ctx));
+    }
+    for i in 0..cfg.r {
+        v.push(P::reader(&cfg, layout, i, history.clone(), &mut ctx));
+    }
+    for j in 0..cfg.s {
+        v.push(P::server(&cfg, layout, j, &mut ctx));
+    }
+    v
+}
+
+fn wait_for(history: &SharedHistory, n: usize) {
+    let start = std::time::Instant::now();
+    while history.completed_count() < n {
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(30),
+            "timed out waiting for {n} completions"
+        );
+        std::thread::yield_now();
+    }
+}
+
+fn run_over_threads<P: ProtocolFamily>(cfg: ClusterConfig) -> fastreg_suite::prelude::History {
+    let history = SharedHistory::new();
+    let net = ThreadedNet::spawn(automata::<P>(cfg, &history));
+    let layout = Layout::of(&cfg);
+
+    let mut completed = 0usize;
+    for round in 1..=5u64 {
+        net.inject(layout.writer(0), P::invoke_write(round * 10));
+        completed += 1;
+        wait_for(&history, completed);
+        for i in 0..cfg.r {
+            net.inject(layout.reader(i), P::invoke_read());
+            completed += 1;
+            wait_for(&history, completed);
+        }
+    }
+    net.shutdown();
+    history.snapshot()
+}
+
+#[test]
+fn fast_crash_is_atomic_over_real_threads() {
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let history = run_over_threads::<FastCrash>(cfg);
+    assert_eq!(history.complete_ops().count(), 15);
+    check_swmr_atomicity(&history).unwrap_or_else(|e| panic!("{e}\n{}", history.render()));
+    // The final read of each round saw that round's write.
+    let last = history.reads().last().unwrap();
+    assert_eq!(last.returned, Some(RegValue::Val(50)));
+}
+
+#[test]
+fn fast_byz_is_atomic_over_real_threads() {
+    let cfg = ClusterConfig::byzantine(6, 1, 1, 1).unwrap();
+    let history = run_over_threads::<FastByz>(cfg);
+    check_swmr_atomicity(&history).unwrap_or_else(|e| panic!("{e}\n{}", history.render()));
+}
+
+#[test]
+fn abd_is_atomic_over_real_threads() {
+    let cfg = ClusterConfig::crash_stop(5, 2, 2).unwrap();
+    let history = run_over_threads::<Abd>(cfg);
+    check_swmr_atomicity(&history).unwrap_or_else(|e| panic!("{e}\n{}", history.render()));
+}
+
+#[test]
+fn concurrent_injections_over_threads_stay_atomic() {
+    // Fire reads while a write is in flight — real racy interleavings.
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let history = SharedHistory::new();
+    let net = ThreadedNet::spawn(automata::<FastCrash>(cfg, &history));
+    let layout = Layout::of(&cfg);
+    for round in 1..=10u64 {
+        net.inject(layout.writer(0), FastCrash::invoke_write(round));
+        net.inject(layout.reader(0), FastCrash::invoke_read());
+        net.inject(layout.reader(1), FastCrash::invoke_read());
+        wait_for(&history, (round * 3) as usize);
+    }
+    net.shutdown();
+    let h = history.snapshot();
+    assert_eq!(h.complete_ops().count(), 30);
+    check_swmr_atomicity(&h).unwrap_or_else(|e| panic!("{e}\n{}", h.render()));
+}
