@@ -114,8 +114,7 @@ fn completed_write_missed(cfg: ClusterConfig, _k: u32) -> History {
     // includes the t servers that never got the write).
     w.inject(l.reader(0), Msg::InvokeRead);
     w.deliver_matching(|e| {
-        matches!(e.msg, Msg::Read { .. })
-            && l.server_index(e.to).map(|j| j >= t).unwrap_or(false)
+        matches!(e.msg, Msg::Read { .. }) && l.server_index(e.to).map(|j| j >= t).unwrap_or(false)
     });
     w.deliver_matching(|e| e.to == l.reader(0));
     h.snapshot()
@@ -132,8 +131,7 @@ fn unstable_value_returned(cfg: ClusterConfig, k: u32) -> History {
     // Incomplete write at servers 0..k.
     w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
     w.deliver_matching(|e| {
-        matches!(e.msg, Msg::Write { .. })
-            && l.server_index(e.to).map(|j| j < k).unwrap_or(false)
+        matches!(e.msg, Msg::Write { .. }) && l.server_index(e.to).map(|j| j < k).unwrap_or(false)
     });
     w.advance_to(SimTime::from_ticks(10));
     // Reader 1 reads from servers 0..S−t (contains all k sightings;
@@ -170,8 +168,7 @@ mod tests {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         assert!(cfg.fast_feasible());
         for k in 1..=cfg.s {
-            let out = refute_count_predicate(cfg, k)
-                .unwrap_or_else(|e| panic!("k = {k}: {e}"));
+            let out = refute_count_predicate(cfg, k).unwrap_or_else(|e| panic!("k = {k}: {e}"));
             assert_eq!(out.k, k);
             assert!(
                 matches!(

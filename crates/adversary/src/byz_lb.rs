@@ -80,7 +80,8 @@ pub fn run_byz_lb(cfg: ClusterConfig, seed: u64) -> Result<ByzLbOutcome, LbError
         if let Err(violation) = check_swmr_atomicity(&history) {
             let r1_addr = fastreg::layout::Layout::of(&cfg).reader(0).index();
             let r1_first = history
-                .reads().find(|op| op.proc == r1_addr && op.is_complete())
+                .reads()
+                .find(|op| op.proc == r1_addr && op.is_complete())
                 .and_then(|op| op.returned)
                 .unwrap_or(RegValue::Bottom);
             return Ok(ByzLbOutcome {
@@ -148,8 +149,9 @@ fn drive_byz_pr_i(cfg: ClusterConfig, plan: &ByzBlockPlan, seed: u64, i: u32) ->
                 .unwrap_or(false)
     });
     if i == 1 {
-        c.world
-            .deliver_matching(|e| e.to == layout.writer(0) && matches!(e.msg, Msg::WriteAck { .. }));
+        c.world.deliver_matching(|e| {
+            e.to == layout.writer(0) && matches!(e.msg, Msg::WriteAck { .. })
+        });
     }
     c.world.advance_to(SimTime::from_ticks(10));
 
@@ -178,9 +180,8 @@ fn drive_byz_pr_i(cfg: ClusterConfig, plan: &ByzBlockPlan, seed: u64, i: u32) ->
                     .unwrap_or(false)
         });
         if h + 1 == i || h == i {
-            c.world.deliver_matching(|e| {
-                e.to == reader_addr && matches!(e.msg, Msg::ReadAck { .. })
-            });
+            c.world
+                .deliver_matching(|e| e.to == reader_addr && matches!(e.msg, Msg::ReadAck { .. }));
         }
         c.world.advance_to(SimTime::from_ticks(10 + 10 * h as u64));
     }
@@ -189,7 +190,11 @@ fn drive_byz_pr_i(cfg: ClusterConfig, plan: &ByzBlockPlan, seed: u64, i: u32) ->
 }
 
 /// Materializes `prA`/`prC` (the original Fig. 6 endgame).
-fn drive_byz_prc(cfg: ClusterConfig, plan: ByzBlockPlan, seed: u64) -> Result<ByzLbOutcome, LbError> {
+fn drive_byz_prc(
+    cfg: ClusterConfig,
+    plan: ByzBlockPlan,
+    seed: u64,
+) -> Result<ByzLbOutcome, LbError> {
     let r = cfg.r;
 
     // Servers in B_{R+1} are two-faced towards r1.
@@ -261,9 +266,8 @@ fn drive_byz_prc(cfg: ClusterConfig, plan: ByzBlockPlan, seed: u64) -> Result<By
                     .unwrap_or(false)
         });
         if h == r {
-            c.world.deliver_matching(|e| {
-                e.to == reader_addr && matches!(e.msg, Msg::ReadAck { .. })
-            });
+            c.world
+                .deliver_matching(|e| e.to == reader_addr && matches!(e.msg, Msg::ReadAck { .. }));
         }
         c.world.advance_to(SimTime::from_ticks(10 + 10 * h as u64));
     }

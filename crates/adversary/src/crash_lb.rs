@@ -146,9 +146,7 @@ fn drive_pr_i(cfg: ClusterConfig, plan: &BlockPlan, seed: u64, i: u32) -> Histor
     let layout = c.layout;
 
     let in_blocks = |ks: &[u32]| -> BTreeSet<u32> {
-        ks.iter()
-            .flat_map(|&k| plan.b(k).iter().copied())
-            .collect()
+        ks.iter().flat_map(|&k| plan.b(k).iter().copied()).collect()
     };
 
     // Write delivered to B_i..B_{R+1}.
@@ -163,8 +161,9 @@ fn drive_pr_i(cfg: ClusterConfig, plan: &BlockPlan, seed: u64, i: u32) -> Histor
     });
     if i == 1 {
         // pr_1 extends the *complete* write wr: the writer returns.
-        c.world
-            .deliver_matching(|e| e.to == layout.writer(0) && matches!(e.msg, Msg::WriteAck { .. }));
+        c.world.deliver_matching(|e| {
+            e.to == layout.writer(0) && matches!(e.msg, Msg::WriteAck { .. })
+        });
     }
     c.world.advance_to(SimTime::from_ticks(10));
 
@@ -192,9 +191,8 @@ fn drive_pr_i(cfg: ClusterConfig, plan: &BlockPlan, seed: u64, i: u32) -> Histor
         });
         if h + 1 == i || h == i {
             // r_{i−1} and r_i are complete.
-            c.world.deliver_matching(|e| {
-                e.to == reader_addr && matches!(e.msg, Msg::ReadAck { .. })
-            });
+            c.world
+                .deliver_matching(|e| e.to == reader_addr && matches!(e.msg, Msg::ReadAck { .. }));
         }
         c.world.advance_to(SimTime::from_ticks(10 + 10 * h as u64));
     }
@@ -227,15 +225,18 @@ struct Returns {
 
 /// Runs the scripted schedule. With `with_write = false`, the `write(1)`
 /// is omitted (prB/prD); everything else is identical.
-fn drive_prc(cfg: ClusterConfig, plan: &BlockPlan, seed: u64, with_write: bool) -> (History, Returns) {
+fn drive_prc(
+    cfg: ClusterConfig,
+    plan: &BlockPlan,
+    seed: u64,
+    with_write: bool,
+) -> (History, Returns) {
     let r = cfg.r;
     let mut c: Cluster<FastCrash> = Cluster::new(cfg, seed);
     let layout = c.layout;
 
     let in_blocks = |ks: &[u32]| -> BTreeSet<u32> {
-        ks.iter()
-            .flat_map(|&k| plan.b(k).iter().copied())
-            .collect()
+        ks.iter().flat_map(|&k| plan.b(k).iter().copied()).collect()
     };
     let block_range = |lo: u32, hi: u32| -> Vec<u32> { (lo..=hi).collect() };
 
@@ -279,8 +280,7 @@ fn drive_prc(cfg: ClusterConfig, plan: &BlockPlan, seed: u64, with_write: bool) 
             c.world
                 .deliver_matching(|e| e.to == reader_addr && matches!(e.msg, Msg::ReadAck { .. }));
         }
-        c.world
-            .advance_to(SimTime::from_ticks(10 + 10 * h as u64));
+        c.world.advance_to(SimTime::from_ticks(10 + 10 * h as u64));
     }
 
     let r_last = read_return(&c, r - 1, 0);
@@ -330,9 +330,8 @@ fn drive_prc(cfg: ClusterConfig, plan: &BlockPlan, seed: u64, with_write: bool) 
                 .map(|j| !b_r1.contains(&j))
                 .unwrap_or(false)
     });
-    c.world.deliver_matching(|e| {
-        e.to == r1 && matches!(e.msg, Msg::ReadAck { r_counter: 2, .. })
-    });
+    c.world
+        .deliver_matching(|e| e.to == r1 && matches!(e.msg, Msg::ReadAck { r_counter: 2, .. }));
     let r1_second = read_return(&c, 0, 1);
 
     (
@@ -406,7 +405,13 @@ mod tests {
 
     #[test]
     fn construction_scales_to_larger_instances() {
-        for (s, t, r) in [(6u32, 1u32, 4u32), (8, 2, 2), (10, 2, 3), (12, 3, 2), (6, 2, 4)] {
+        for (s, t, r) in [
+            (6u32, 1u32, 4u32),
+            (8, 2, 2),
+            (10, 2, 3),
+            (12, 3, 2),
+            (6, 2, 4),
+        ] {
             let cfg = ClusterConfig::crash_stop(s, t, r).unwrap();
             assert!(!cfg.fast_feasible(), "({s},{t},{r}) should be infeasible");
             let out = run_crash_lb(cfg, 1).unwrap_or_else(|e| panic!("({s},{t},{r}): {e}"));

@@ -124,7 +124,11 @@ fn path_hash(path: &[usize]) -> u64 {
 
 /// Replays a choice path from scratch; returns the cluster and the sorted
 /// deliverable message ids at the end of the path.
-fn replay(cfg: ClusterConfig, script: &OpScript, path: &[usize]) -> (Cluster<FastCrash>, Vec<MsgId>) {
+fn replay(
+    cfg: ClusterConfig,
+    script: &OpScript,
+    path: &[usize],
+) -> (Cluster<FastCrash>, Vec<MsgId>) {
     let mut c: Cluster<FastCrash> = Cluster::new(cfg, 0);
     let mut writes = script.writes.iter();
     if let Some(&v) = writes.next() {

@@ -30,16 +30,16 @@
 pub mod ablation;
 pub mod blocks;
 pub mod byz_lb;
-pub mod explore;
 pub mod crash_lb;
+pub mod explore;
 pub mod mwmr_lb;
 pub mod search;
 
 pub use ablation::{refute_count_predicate, AblationOutcome};
 pub use blocks::{byz_blocks, crash_blocks, BlockPlan, ByzBlockPlan};
 pub use byz_lb::{run_byz_lb, ByzLbOutcome};
-pub use explore::{explore_fast_crash, ExploreOutcome, OpScript};
 pub use crash_lb::{run_crash_lb, CrashLbOutcome};
+pub use explore::{explore_fast_crash, ExploreOutcome, OpScript};
 pub use mwmr_lb::{run_mwmr_lb, MwmrLbOutcome};
 pub use search::{random_adversarial_search, SearchOutcome};
 
@@ -66,7 +66,10 @@ impl std::fmt::Display for LbError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LbError::ConfigIsFeasible => {
-                write!(f, "configuration is fast-feasible; the lower-bound construction does not apply")
+                write!(
+                    f,
+                    "configuration is fast-feasible; the lower-bound construction does not apply"
+                )
             }
             LbError::NeedTwoReaders => write!(f, "the construction needs R >= 2"),
             LbError::NeedFaults => write!(f, "the construction needs t >= 1"),

@@ -170,10 +170,7 @@ mod tests {
         assert_eq!(out.chain_returns.len(), 6);
         // The read's return is independent of per-server receipt order —
         // the protocol cannot express the switch the proof requires.
-        assert!(out
-            .chain_returns
-            .iter()
-            .all(|&v| v == out.chain_returns[0]));
+        assert!(out.chain_returns.iter().all(|&v| v == out.chain_returns[0]));
     }
 
     #[test]

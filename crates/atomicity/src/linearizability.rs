@@ -314,7 +314,10 @@ mod tests {
         // The generator must exercise both outcomes for the test to mean
         // anything.
         assert!(checked > 20, "only {checked} accepted histories generated");
-        assert!(rejected > 20, "only {rejected} rejected histories generated");
+        assert!(
+            rejected > 20,
+            "only {rejected} rejected histories generated"
+        );
     }
 
     /// Generates a small single-writer history with sequential writes of

@@ -80,13 +80,19 @@ impl fmt::Display for AtomicityViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             AtomicityViolation::DuplicateWrittenValue { value } => {
-                write!(f, "value {value} written more than once; history not checkable")
+                write!(
+                    f,
+                    "value {value} written more than once; history not checkable"
+                )
             }
             AtomicityViolation::MalformedWrites { detail } => {
                 write!(f, "writes are not single-writer sequential: {detail}")
             }
             AtomicityViolation::UnwrittenValue { read, value } => {
-                write!(f, "condition 1 violated: {read:?} returned unwritten value {value}")
+                write!(
+                    f,
+                    "condition 1 violated: {read:?} returned unwritten value {value}"
+                )
             }
             AtomicityViolation::MissedPrecedingWrite {
                 read,
@@ -480,9 +486,7 @@ mod tests {
     fn violation_messages_are_informative() {
         let violations: Vec<AtomicityViolation> = vec![
             AtomicityViolation::DuplicateWrittenValue { value: 5 },
-            AtomicityViolation::MalformedWrites {
-                detail: "x".into(),
-            },
+            AtomicityViolation::MalformedWrites { detail: "x".into() },
             AtomicityViolation::UnwrittenValue {
                 read: OpId(1),
                 value: RegValue::Val(9),

@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 
-use fastreg_auth::digest::{fnv1a, Digestible, DigestWriter};
+use fastreg_auth::digest::{fnv1a, DigestWriter, Digestible};
 use fastreg_auth::{Keychain, Signed};
 
 proptest! {

@@ -12,16 +12,18 @@ fn lower_bounds(c: &mut Criterion) {
 
     for (s, t, r) in [(5u32, 1u32, 3u32), (8, 2, 2), (12, 2, 4)] {
         let cfg = ClusterConfig::crash_stop(s, t, r).expect("valid");
-        g.bench_function(BenchmarkId::new("crash_prC", format!("S{s}t{t}R{r}")), |b| {
-            b.iter(|| run_crash_lb(cfg, 0).expect("construction applies"))
-        });
+        g.bench_function(
+            BenchmarkId::new("crash_prC", format!("S{s}t{t}R{r}")),
+            |b| b.iter(|| run_crash_lb(cfg, 0).expect("construction applies")),
+        );
     }
 
     for (s, t, bz, r) in [(7u32, 1u32, 1u32, 2u32), (9, 1, 1, 3)] {
         let cfg = ClusterConfig::byzantine(s, t, bz, r).expect("valid");
-        g.bench_function(BenchmarkId::new("byz_fig6", format!("S{s}t{t}b{bz}R{r}")), |b| {
-            b.iter(|| run_byz_lb(cfg, 0).expect("construction applies"))
-        });
+        g.bench_function(
+            BenchmarkId::new("byz_fig6", format!("S{s}t{t}b{bz}R{r}")),
+            |b| b.iter(|| run_byz_lb(cfg, 0).expect("construction applies")),
+        );
     }
 
     for s in [3u32, 5] {

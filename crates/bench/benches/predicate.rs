@@ -40,9 +40,10 @@ fn predicate(c: &mut Criterion) {
     for (s, t, b_, r) in [(9u32, 1u32, 1u32, 1u32), (20, 2, 1, 4), (40, 3, 2, 6)] {
         let n_msgs = (s - t) as usize;
         let seens = random_seens(s, r, n_msgs, 43);
-        g.bench_function(BenchmarkId::new("byzantine", format!("S{s}t{t}b{b_}R{r}")), |b| {
-            b.iter(|| predicate_witness(s, t, r, PredicateModel::Byzantine { b: b_ }, &seens))
-        });
+        g.bench_function(
+            BenchmarkId::new("byzantine", format!("S{s}t{t}b{b_}R{r}")),
+            |b| b.iter(|| predicate_witness(s, t, r, PredicateModel::Byzantine { b: b_ }, &seens)),
+        );
     }
     g.finish();
 }

@@ -8,16 +8,24 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fastreg::config::ClusterConfig;
 use fastreg::harness::{Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, ProtocolFamily};
 
-fn bench_protocol<P: ProtocolFamily>(c: &mut Criterion, group: &str, name: &str, cfg: ClusterConfig) {
+fn bench_protocol<P: ProtocolFamily>(
+    c: &mut Criterion,
+    group: &str,
+    name: &str,
+    cfg: ClusterConfig,
+) {
     let mut g = c.benchmark_group(group);
-    g.bench_function(BenchmarkId::new(name, format!("S{}t{}R{}", cfg.s, cfg.t, cfg.r)), |b| {
-        let mut cluster: Cluster<P> = Cluster::new(cfg, 1);
-        cluster.write_sync(1);
-        b.iter(|| {
-            cluster.read_async(0);
-            cluster.settle();
-        });
-    });
+    g.bench_function(
+        BenchmarkId::new(name, format!("S{}t{}R{}", cfg.s, cfg.t, cfg.r)),
+        |b| {
+            let mut cluster: Cluster<P> = Cluster::new(cfg, 1);
+            cluster.write_sync(1);
+            b.iter(|| {
+                cluster.read_async(0);
+                cluster.settle();
+            });
+        },
+    );
     g.finish();
 }
 

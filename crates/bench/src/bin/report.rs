@@ -6,15 +6,37 @@
 //! report                 # run everything
 //! report e3 e8           # run a subset
 //! report --quick         # smaller seed counts (CI-friendly)
+//! report --json          # machine-readable per-experiment wall times
 //! ```
+//!
+//! `--json` emits one JSON document with the wall-clock time of each
+//! selected experiment; committing its output (see `BENCH_baseline.json`)
+//! anchors the perf trajectory for future changes.
 
 use std::env;
+use std::time::Instant;
 
 use fastreg_workload::experiments as exp;
+
+/// Minimal JSON string escaping for the experiment titles.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
     let selected: Vec<String> = args
         .iter()
         .filter(|a| !a.starts_with("--"))
@@ -91,6 +113,43 @@ fn main() {
             Box::new(|| exp::e13_seen_ablation().render()),
         ),
     ];
+
+    if json {
+        let mut entries = Vec::new();
+        for (id, title, run) in experiments {
+            if !want(id) {
+                continue;
+            }
+            let start = Instant::now();
+            let rendered = run();
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            entries.push(format!(
+                "    {{\n      \"id\": \"{}\",\n      \"title\": \"{}\",\n      \
+                 \"wall_ms\": {:.3},\n      \"table_lines\": {}\n    }}",
+                json_escape(id),
+                json_escape(title),
+                wall_ms,
+                rendered.lines().count()
+            ));
+        }
+        let mut reproduce = Vec::new();
+        if quick {
+            reproduce.push("--quick".to_string());
+        }
+        reproduce.extend(selected.iter().cloned());
+        reproduce.push("--json".to_string());
+        println!("{{");
+        println!(
+            "  \"generated_by\": \"cargo run --release -p fastreg-bench --bin report -- {}\",",
+            json_escape(&reproduce.join(" "))
+        );
+        println!("  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
+        println!("  \"experiments\": [");
+        println!("{}", entries.join(",\n"));
+        println!("  ]");
+        println!("}}");
+        return;
+    }
 
     for (id, title, run) in experiments {
         if !want(id) {

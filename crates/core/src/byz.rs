@@ -201,7 +201,12 @@ impl Automaton for StaleOldest {
         self.inner.on_message(from, msg, &mut tmp);
         for (to, reply) in tmp.into_messages() {
             let stale = match (reply, self.oldest.clone()) {
-                (Msg::ReadAck { seen, r_counter, .. }, Some(old)) => Msg::ReadAck {
+                (
+                    Msg::ReadAck {
+                        seen, r_counter, ..
+                    },
+                    Some(old),
+                ) => Msg::ReadAck {
                     record: old,
                     seen,
                     r_counter,
@@ -363,7 +368,12 @@ mod tests {
     fn seen_inflater_cannot_break_atomicity() {
         for seed in 0..10 {
             let c = cluster_with_byz(seed, |c, l, ctx| {
-                Box::new(SeenInflater::new(c, l, ctx.verifier.clone(), ctx.writer_key))
+                Box::new(SeenInflater::new(
+                    c,
+                    l,
+                    ctx.verifier.clone(),
+                    ctx.writer_key,
+                ))
             });
             exercise(c);
         }
@@ -407,7 +417,12 @@ mod tests {
     fn counter_abuser_cannot_break_atomicity() {
         for seed in 0..10 {
             let c = cluster_with_byz(seed, |c, l, ctx| {
-                Box::new(CounterAbuser::new(c, l, ctx.verifier.clone(), ctx.writer_key))
+                Box::new(CounterAbuser::new(
+                    c,
+                    l,
+                    ctx.verifier.clone(),
+                    ctx.writer_key,
+                ))
             });
             exercise(c);
         }
@@ -427,7 +442,12 @@ mod tests {
         // Concurrency + malicious server 0 + writer crash mid-broadcast.
         for seed in 0..15 {
             let mut c = cluster_with_byz(seed, |c, l, ctx| {
-                Box::new(SeenInflater::new(c, l, ctx.verifier.clone(), ctx.writer_key))
+                Box::new(SeenInflater::new(
+                    c,
+                    l,
+                    ctx.verifier.clone(),
+                    ctx.writer_key,
+                ))
             });
             c.write_sync(1);
             c.world

@@ -88,7 +88,13 @@ impl ClusterConfig {
     ///
     /// Returns a [`ConfigError`] if the parameters are inconsistent.
     pub fn crash_stop(s: u32, t: u32, r: u32) -> Result<Self, ConfigError> {
-        Self::validated(ClusterConfig { s, t, b: 0, r, w: 1 })
+        Self::validated(ClusterConfig {
+            s,
+            t,
+            b: 0,
+            r,
+            w: 1,
+        })
     }
 
     /// A SWMR arbitrary-failure configuration (`W = 1`).
@@ -195,7 +201,10 @@ mod tests {
 
     #[test]
     fn validation_rejects_bad_shapes() {
-        assert_eq!(ClusterConfig::crash_stop(0, 0, 1), Err(ConfigError::NoServers));
+        assert_eq!(
+            ClusterConfig::crash_stop(0, 0, 1),
+            Err(ConfigError::NoServers)
+        );
         assert_eq!(
             ClusterConfig::crash_stop(3, 4, 1),
             Err(ConfigError::TooManyFaults { t: 4, s: 3 })
@@ -233,11 +242,17 @@ mod tests {
     #[test]
     fn byz_bound_matches_formula() {
         // S > (R+2)t + (R+1)b. R = 1, t = 1, b = 1: S > 3 + 2 = 5.
-        assert!(!ClusterConfig::byzantine(5, 1, 1, 1).unwrap().fast_feasible());
-        assert!(ClusterConfig::byzantine(6, 1, 1, 1).unwrap().fast_feasible());
+        assert!(!ClusterConfig::byzantine(5, 1, 1, 1)
+            .unwrap()
+            .fast_feasible());
+        assert!(ClusterConfig::byzantine(6, 1, 1, 1)
+            .unwrap()
+            .fast_feasible());
         // b = 0 reduces to the crash bound.
         assert_eq!(
-            ClusterConfig::byzantine(5, 1, 0, 2).unwrap().fast_feasible(),
+            ClusterConfig::byzantine(5, 1, 0, 2)
+                .unwrap()
+                .fast_feasible(),
             ClusterConfig::crash_stop(5, 1, 2).unwrap().fast_feasible()
         );
     }
@@ -258,7 +273,13 @@ mod tests {
 
     #[test]
     fn max_fast_readers_is_tight() {
-        for (s, t, b) in [(5u32, 1u32, 0u32), (10, 2, 0), (9, 1, 1), (20, 3, 3), (4, 1, 0)] {
+        for (s, t, b) in [
+            (5u32, 1u32, 0u32),
+            (10, 2, 0),
+            (9, 1, 1),
+            (20, 3, 3),
+            (4, 1, 0),
+        ] {
             let base = ClusterConfig::byzantine(s, t, b, 0).unwrap();
             match base.max_fast_readers() {
                 Some(max_r) => {
@@ -282,8 +303,12 @@ mod tests {
 
     #[test]
     fn regular_feasibility_is_majority() {
-        assert!(ClusterConfig::crash_stop(5, 2, 100).unwrap().fast_regular_feasible());
-        assert!(!ClusterConfig::crash_stop(4, 2, 1).unwrap().fast_regular_feasible());
+        assert!(ClusterConfig::crash_stop(5, 2, 100)
+            .unwrap()
+            .fast_regular_feasible());
+        assert!(!ClusterConfig::crash_stop(4, 2, 1)
+            .unwrap()
+            .fast_regular_feasible());
     }
 
     #[test]

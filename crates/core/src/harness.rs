@@ -27,7 +27,7 @@ use fastreg_atomicity::history::{History, SharedHistory};
 use fastreg_atomicity::linearizability::{check_linearizable, LinCheckError};
 use fastreg_atomicity::regularity::{check_swmr_regularity, RegularityViolation};
 use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
-use fastreg_auth::{Keychain, KeyId, SignerHandle, Verifier};
+use fastreg_auth::{KeyId, Keychain, SignerHandle, Verifier};
 use fastreg_simnet::automaton::Automaton;
 use fastreg_simnet::runner::SimConfig;
 use fastreg_simnet::world::World;
@@ -752,17 +752,14 @@ mod tests {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         // Replace server 4 with a mute (crash-like) server: operations
         // still complete because quorum = 4.
-        let mut c: Cluster<FastCrash> = Cluster::with_server_factory(
-            cfg,
-            SimConfig::default(),
-            |cfg, layout, index, ctx| {
+        let mut c: Cluster<FastCrash> =
+            Cluster::with_server_factory(cfg, SimConfig::default(), |cfg, layout, index, ctx| {
                 if index == 4 {
                     Box::new(ByzActor::new(Box::new(Mute)))
                 } else {
                     FastCrash::server(cfg, layout, index, ctx)
                 }
-            },
-        );
+            });
         c.write_sync(1);
         assert_eq!(c.read(0), RegValue::Val(1));
         c.check_atomic().unwrap();

@@ -236,7 +236,10 @@ mod tests {
         // S = 5, t = 1, R = 2: one message with one common client needs
         // a = 1, m = 4. Fails.
         let acks = vec![seen(&[W])];
-        assert_eq!(predicate_witness(5, 1, 2, PredicateModel::Crash, &acks), None);
+        assert_eq!(
+            predicate_witness(5, 1, 2, PredicateModel::Crash, &acks),
+            None
+        );
     }
 
     #[test]
@@ -264,7 +267,10 @@ mod tests {
         ];
         // Each client individually appears in <= 3 < 4 messages, and no
         // pair is common to 4.
-        assert_eq!(predicate_witness(6, 1, 2, PredicateModel::Crash, &acks), None);
+        assert_eq!(
+            predicate_witness(6, 1, 2, PredicateModel::Crash, &acks),
+            None
+        );
     }
 
     #[test]
@@ -305,7 +311,11 @@ mod tests {
         for case in 0..500 {
             let s = rng.gen_range(3..9u32);
             let t = rng.gen_range(1..=(s / 2).max(1));
-            let b = if rng.gen_bool(0.5) { 0 } else { rng.gen_range(0..=t) };
+            let b = if rng.gen_bool(0.5) {
+                0
+            } else {
+                rng.gen_range(0..=t)
+            };
             let r_count = rng.gen_range(1..4u32);
             let model = if b == 0 {
                 PredicateModel::Crash
@@ -313,8 +323,7 @@ mod tests {
                 PredicateModel::Byzantine { b }
             };
             let n_msgs = rng.gen_range(0..=(s - t).min(8)) as usize;
-            let clients: Vec<ClientId> =
-                std::iter::once(W).chain((0..r_count).map(r)).collect();
+            let clients: Vec<ClientId> = std::iter::once(W).chain((0..r_count).map(r)).collect();
             let seens: Vec<BTreeSet<ClientId>> = (0..n_msgs)
                 .map(|_| {
                     clients
@@ -326,7 +335,10 @@ mod tests {
                 .collect();
             let fast = predicate_witness(s, t, r_count, model, &seens);
             let brute = predicate_witness_bruteforce(s, t, r_count, model, &seens);
-            assert_eq!(fast, brute, "case {case}: s={s} t={t} b={b} r={r_count} seens={seens:?}");
+            assert_eq!(
+                fast, brute,
+                "case {case}: s={s} t={t} b={b} r={r_count} seens={seens:?}"
+            );
         }
     }
 

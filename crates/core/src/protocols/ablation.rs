@@ -147,8 +147,8 @@ impl Automaton for CountReader {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::types::RegValue;
     use crate::protocols::fast_crash::{Server, Writer};
+    use crate::types::RegValue;
     use fastreg_atomicity::swmr::check_swmr_atomicity;
     use fastreg_simnet::runner::SimConfig;
     use fastreg_simnet::world::World;

@@ -88,11 +88,7 @@ impl SignedRecord {
     pub fn is_valid(&self, verifier: &Verifier, writer_key: KeyId) -> bool {
         match &self.sig {
             None => self.ts == Timestamp::ZERO && self.tags == TaggedValue::INITIAL,
-            Some(sig) => verifier.verify(
-                writer_key,
-                Self::payload_digest(self.ts, self.tags),
-                sig,
-            ),
+            Some(sig) => verifier.verify(writer_key, Self::payload_digest(self.ts, self.tags), sig),
         }
     }
 }
@@ -410,7 +406,12 @@ impl Reader {
     }
 
     /// Line 15's `receivevalid` filter for one ack.
-    fn ack_is_valid(&self, floor: Timestamp, record: &SignedRecord, seen: &BTreeSet<ClientId>) -> bool {
+    fn ack_is_valid(
+        &self,
+        floor: Timestamp,
+        record: &SignedRecord,
+        seen: &BTreeSet<ClientId>,
+    ) -> bool {
         record.is_valid(&self.verifier, self.writer_key)
             && record.ts >= floor
             && seen.contains(&self.me)
@@ -425,8 +426,7 @@ impl Reader {
             .expect("quorum nonempty");
         let max_msgs: Vec<&AckInfo> = acks.values().filter(|a| a.record.ts == max_ts).collect();
         let record = max_msgs[0].record.clone();
-        let seens: Vec<BTreeSet<ClientId>> =
-            max_msgs.iter().map(|a| a.seen.clone()).collect();
+        let seens: Vec<BTreeSet<ClientId>> = max_msgs.iter().map(|a| a.seen.clone()).collect();
         let witness = predicate_witness(
             self.cfg.s,
             self.cfg.t,
@@ -501,7 +501,10 @@ impl Automaton for Reader {
                     return;
                 }
                 let pending = self.pending.as_mut().expect("checked above");
-                pending.acks.entry(server).or_insert(AckInfo { record, seen });
+                pending
+                    .acks
+                    .entry(server)
+                    .or_insert(AckInfo { record, seen });
                 if pending.acks.len() as u32 >= quorum {
                     let done = self.pending.take().expect("checked above");
                     let (record, returned) = self.decide(&done.acks);
@@ -550,7 +553,12 @@ mod tests {
             )));
         }
         for _ in 0..cfg.s {
-            world.add_actor(Box::new(Server::new(&cfg, layout, verifier.clone(), writer_key)));
+            world.add_actor(Box::new(Server::new(
+                &cfg,
+                layout,
+                verifier.clone(),
+                writer_key,
+            )));
         }
         (world, layout, history)
     }

@@ -138,7 +138,11 @@ impl Automaton for Server {
 
     fn on_message(&mut self, from: ProcessId, msg: Msg, out: &mut Outbox<Msg>) {
         match msg {
-            Msg::Write { ts, tags, r_counter } if self.absorb(from, ts, tags, r_counter) => {
+            Msg::Write {
+                ts,
+                tags,
+                r_counter,
+            } if self.absorb(from, ts, tags, r_counter) => {
                 out.send(
                     from,
                     Msg::WriteAck {
@@ -148,7 +152,11 @@ impl Automaton for Server {
                     },
                 );
             }
-            Msg::Read { ts, tags, r_counter } if self.absorb(from, ts, tags, r_counter) => {
+            Msg::Read {
+                ts,
+                tags,
+                r_counter,
+            } if self.absorb(from, ts, tags, r_counter) => {
                 out.send(
                     from,
                     Msg::ReadAck {
@@ -237,7 +245,9 @@ impl Automaton for Writer {
                     },
                 );
             }
-            Msg::WriteAck { ts, r_counter: 0, .. } => {
+            Msg::WriteAck {
+                ts, r_counter: 0, ..
+            } => {
                 let Some(server) = self.layout.server_index(from) else {
                     return;
                 };
@@ -322,8 +332,7 @@ impl Reader {
         let max_ts = acks.values().map(|a| a.ts).max().expect("quorum nonempty");
         let max_msgs: Vec<&AckInfo> = acks.values().filter(|a| a.ts == max_ts).collect();
         let tags = max_msgs[0].tags;
-        let seens: Vec<BTreeSet<ClientId>> =
-            max_msgs.iter().map(|a| a.seen.clone()).collect();
+        let seens: Vec<BTreeSet<ClientId>> = max_msgs.iter().map(|a| a.seen.clone()).collect();
         let witness = predicate_witness(
             self.cfg.s,
             self.cfg.t,
@@ -579,12 +588,11 @@ mod tests {
         w.inject(reader, Msg::InvokeRead);
         w.deliver_matching(|e| e.to != s0); // reads reach servers 1..4
         w.deliver_matching(|e| e.to == reader); // 4 acks: quorum, completes
+
         // Second read: deliver its messages everywhere (s0's counter for
         // the reader becomes 2), complete it.
         w.inject(reader, Msg::InvokeRead);
-        w.deliver_matching(|e| {
-            matches!(e.msg, Msg::Read { r_counter: 2, .. })
-        });
+        w.deliver_matching(|e| matches!(e.msg, Msg::Read { r_counter: 2, .. }));
         w.deliver_matching(|e| e.to == reader);
         assert_eq!(
             w.with_actor::<Server, _, _>(s0, |s| s.counter[1]).unwrap(),
@@ -593,9 +601,8 @@ mod tests {
         // Finally deliver the stale r_counter = 1 read to s0: the server
         // must ignore it entirely — no reply is sent.
         let before = w.pending_len();
-        let delivered = w.deliver_matching(|e| {
-            e.to == s0 && matches!(e.msg, Msg::Read { r_counter: 1, .. })
-        });
+        let delivered =
+            w.deliver_matching(|e| e.to == s0 && matches!(e.msg, Msg::Read { r_counter: 1, .. }));
         assert_eq!(delivered, 1);
         assert_eq!(w.pending_len(), before - 1); // consumed, nothing emitted
         assert_eq!(

@@ -369,9 +369,7 @@ mod tests {
         w.advance_to(fastreg_simnet::time::SimTime::from_ticks(10));
         w.inject(l.reader(0), Msg::InvokeRead);
         for j in [0, 1, 2] {
-            w.deliver_matching(|e| {
-                e.to == l.server(j) && matches!(e.msg, Msg::Read { .. })
-            });
+            w.deliver_matching(|e| e.to == l.server(j) && matches!(e.msg, Msg::Read { .. }));
         }
         w.deliver_matching(|e| e.to == l.reader(0));
 
@@ -380,9 +378,7 @@ mod tests {
         w.advance_to(fastreg_simnet::time::SimTime::from_ticks(20));
         w.inject(l.reader(1), Msg::InvokeRead);
         for j in [2, 3, 4] {
-            w.deliver_matching(|e| {
-                e.to == l.server(j) && matches!(e.msg, Msg::Read { .. })
-            });
+            w.deliver_matching(|e| e.to == l.server(j) && matches!(e.msg, Msg::Read { .. }));
         }
         w.deliver_matching(|e| e.to == l.reader(1));
 

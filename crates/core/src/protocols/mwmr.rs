@@ -157,7 +157,12 @@ pub mod abd {
 
     impl Client {
         /// Creates writer `wid`.
-        pub fn writer(cfg: ClusterConfig, layout: Layout, wid: u32, history: SharedHistory) -> Self {
+        pub fn writer(
+            cfg: ClusterConfig,
+            layout: Layout,
+            wid: u32,
+            history: SharedHistory,
+        ) -> Self {
             Client {
                 cfg,
                 layout,
@@ -199,9 +204,9 @@ pub mod abd {
                         "client invoked write() while an operation was pending"
                     );
                     self.op_counter += 1;
-                    let op = self
-                        .history
-                        .invoke_write(out.this().index(), value, out.now().ticks());
+                    let op =
+                        self.history
+                            .invoke_write(out.this().index(), value, out.now().ticks());
                     self.pending = Some(PendingOp {
                         op,
                         op_counter: self.op_counter,
@@ -464,9 +469,9 @@ pub mod naive_fast {
                         seq: self.seq,
                         wid: self.wid,
                     };
-                    let op = self
-                        .history
-                        .invoke_write(out.this().index(), value, out.now().ticks());
+                    let op =
+                        self.history
+                            .invoke_write(out.this().index(), value, out.now().ticks());
                     self.pending = Some(PendingWrite {
                         op,
                         ts,

@@ -421,10 +421,7 @@ mod tests {
         let hist = h.snapshot();
         check_swmr_atomicity(&hist).unwrap();
         let returns: Vec<_> = hist.reads().map(|r| r.returned.unwrap()).collect();
-        assert_eq!(
-            returns,
-            (1..=6u64).map(RegValue::Val).collect::<Vec<_>>()
-        );
+        assert_eq!(returns, (1..=6u64).map(RegValue::Val).collect::<Vec<_>>());
     }
 
     #[test]

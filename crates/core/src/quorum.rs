@@ -58,7 +58,9 @@ pub fn partition_into_blocks(s: u32, n_blocks: u32) -> Vec<Vec<u32>> {
 /// `R + 2` non-empty blocks, each of size at most `t`.
 pub fn blocks_valid_for_crash_lb(cfg: &ClusterConfig, blocks: &[Vec<u32>]) -> bool {
     blocks.len() == (cfg.r + 2) as usize
-        && blocks.iter().all(|b| !b.is_empty() && b.len() <= cfg.t as usize)
+        && blocks
+            .iter()
+            .all(|b| !b.is_empty() && b.len() <= cfg.t as usize)
         && blocks.iter().map(|b| b.len() as u32).sum::<u32>() == cfg.s
 }
 

@@ -133,7 +133,9 @@ mod tests {
         let (mut w, probe, byz) = setup(Box::new(Mute));
         w.send_from_external(probe, byz, N(1));
         w.run_until_quiescent();
-        assert!(w.with_actor::<Probe, _, _>(probe, |p| p.got.is_empty()).unwrap());
+        assert!(w
+            .with_actor::<Probe, _, _>(probe, |p| p.got.is_empty())
+            .unwrap());
     }
 
     #[test]
@@ -142,7 +144,8 @@ mod tests {
         w.send_from_external(probe, byz, N(7));
         w.run_until_quiescent();
         assert_eq!(
-            w.with_actor::<Probe, _, _>(probe, |p| p.got.clone()).unwrap(),
+            w.with_actor::<Probe, _, _>(probe, |p| p.got.clone())
+                .unwrap(),
             vec![N(7), N(7), N(7)]
         );
     }
@@ -155,7 +158,8 @@ mod tests {
         w.send_from_external(probe, byz, N(3)); // replies with N(1)
         w.run_until_quiescent();
         assert_eq!(
-            w.with_actor::<Probe, _, _>(probe, |p| p.got.clone()).unwrap(),
+            w.with_actor::<Probe, _, _>(probe, |p| p.got.clone())
+                .unwrap(),
             vec![N(1), N(1)]
         );
     }

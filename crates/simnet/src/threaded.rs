@@ -67,13 +67,10 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ThreadedNet<M> {
     pub fn spawn(automata: Vec<Box<dyn Automaton<Msg = M>>>) -> Self {
         let start = Instant::now();
         let channels: Vec<NodeChannel<M>> = automata.iter().map(|_| unbounded()).collect();
-        let senders: Vec<Sender<NodeInput<M>>> =
-            channels.iter().map(|(s, _)| s.clone()).collect();
+        let senders: Vec<Sender<NodeInput<M>>> = channels.iter().map(|(s, _)| s.clone()).collect();
 
         let mut handles = Vec::with_capacity(automata.len());
-        for (index, (mut automaton, (_, rx))) in
-            automata.into_iter().zip(channels).enumerate()
-        {
+        for (index, (mut automaton, (_, rx))) in automata.into_iter().zip(channels).enumerate() {
             let peers = senders.clone();
             let me = ProcessId::new(index as u32);
             handles.push(std::thread::spawn(move || {

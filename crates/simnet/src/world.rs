@@ -474,9 +474,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
             let next_ready = self
                 .mset
                 .values()
-                .filter(|e| {
-                    !self.is_crashed(e.to) && !self.blocked_links.contains(&(e.from, e.to))
-                })
+                .filter(|e| !self.is_crashed(e.to) && !self.blocked_links.contains(&(e.from, e.to)))
                 .map(|e| e.ready_at)
                 .min();
             match next_ready {
@@ -637,7 +635,9 @@ mod tests {
 
     fn world_of(n: u32) -> (World<Msg>, Vec<ProcessId>) {
         let mut w = World::new(SimConfig::default());
-        let ids = (0..n).map(|_| w.add_actor(Box::new(Node::new(n)))).collect();
+        let ids = (0..n)
+            .map(|_| w.add_actor(Box::new(Node::new(n))))
+            .collect();
         (w, ids)
     }
 
@@ -814,7 +814,9 @@ mod tests {
                 delay: DelayModel::Uniform { lo: 1, hi: 50 },
                 ..SimConfig::default()
             });
-            let ids: Vec<ProcessId> = (0..4).map(|_| w.add_actor(Box::new(Node::new(4)))).collect();
+            let ids: Vec<ProcessId> = (0..4)
+                .map(|_| w.add_actor(Box::new(Node::new(4))))
+                .collect();
             w.inject(ids[0], Msg::ReplyAll);
             w.run_until_quiescent();
             w.trace().render()

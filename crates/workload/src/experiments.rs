@@ -5,11 +5,11 @@
 //! from the paper, and returns a rendered table. The `report` binary in
 //! `fastreg-bench` prints them; the integration tests run them.
 
-use fastreg::byz::{CounterAbuser, Forger, SeenInflater, StaleOldest, StaleReplayer, TwoFacedLoseWrite};
-use fastreg::config::ClusterConfig;
-use fastreg::harness::{
-    Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, ProtocolFamily,
+use fastreg::byz::{
+    CounterAbuser, Forger, SeenInflater, StaleOldest, StaleReplayer, TwoFacedLoseWrite,
 };
+use fastreg::config::ClusterConfig;
+use fastreg::harness::{Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, ProtocolFamily};
 use fastreg::predicate::{predicate_witness, predicate_witness_bruteforce, PredicateModel};
 use fastreg::protocols::fast_crash;
 use fastreg::types::{ClientId, RegValue};
@@ -29,7 +29,14 @@ use crate::table::Table;
 /// mid-broadcast writer crashes, across feasible configurations.
 pub fn e1_fast_crash_atomicity(seeds: u64) -> Table {
     let mut table = Table::new(vec!["S", "t", "R", "runs", "ops/run", "violations"]);
-    for (s, t, r) in [(4u32, 1u32, 1u32), (5, 1, 2), (7, 1, 4), (8, 2, 1), (10, 2, 2), (13, 3, 2)] {
+    for (s, t, r) in [
+        (4u32, 1u32, 1u32),
+        (5, 1, 2),
+        (7, 1, 4),
+        (8, 2, 1),
+        (10, 2, 2),
+        (13, 3, 2),
+    ] {
         let cfg = ClusterConfig::crash_stop(s, t, r).expect("valid");
         assert!(cfg.fast_feasible(), "E1 configs must be feasible");
         let out = random_adversarial_search(cfg, 0x0e1, seeds, 10);
@@ -132,7 +139,7 @@ pub fn e3_crash_lower_bound() -> Table {
     for (s, t, r) in [
         (5u32, 1u32, 2u32),
         (5, 1, 3),
-        (5, 1, 4)/* still infeasible, more readers than blocks? R+2=6 > 5 -> NoPartition */,
+        (5, 1, 4), /* still infeasible, more readers than blocks? R+2=6 > 5 -> NoPartition */
         (8, 2, 2),
         (8, 2, 1),
         (12, 2, 4),
@@ -281,7 +288,14 @@ fn byz_run_is_atomic(cfg: ClusterConfig, seed: u64, kind: BehaviourKind) -> bool
 /// E5 — the §6.2 lower bound with memory-losing Byzantine servers.
 pub fn e5_byz_lower_bound() -> Table {
     let mut table = Table::new(vec![
-        "S", "t", "b", "R", "feasible?", "r_R read", "r1 2nd read", "verdict",
+        "S",
+        "t",
+        "b",
+        "R",
+        "feasible?",
+        "r_R read",
+        "r1 2nd read",
+        "verdict",
     ]);
     for (s, t, b, r) in [
         (8u32, 1u32, 1u32, 2u32), // feasible: 8 > 4 + 3
@@ -376,9 +390,10 @@ pub fn e7_regular_tradeoff(seeds: u64) -> Table {
         c.world.run_random_until_quiescent();
         // Sequential second round of reads to expose inversions.
         for i in 0..cfg.r {
-            c.world.advance_to(fastreg_simnet::time::SimTime::from_ticks(
-                c.world.now().ticks() + 10,
-            ));
+            c.world
+                .advance_to(fastreg_simnet::time::SimTime::from_ticks(
+                    c.world.now().ticks() + 10,
+                ));
             c.read_async(i);
             c.world.run_random_until_quiescent();
         }
@@ -414,9 +429,7 @@ pub fn e7_regular_tradeoff(seeds: u64) -> Table {
 /// `S > (R+2)t + (R+1)b` at every grid point where the construction's
 /// hypotheses hold.
 pub fn e8_frontier() -> Table {
-    let mut table = Table::new(vec![
-        "S", "t", "b", "R", "formula", "experiment", "agree?",
-    ]);
+    let mut table = Table::new(vec!["S", "t", "b", "R", "formula", "experiment", "agree?"]);
     let mut grid: Vec<(u32, u32, u32, u32)> = Vec::new();
     for s in [5u32, 6, 7, 8, 9, 10, 12] {
         for (t, b) in [(1u32, 0u32), (2, 0), (1, 1)] {
@@ -652,7 +665,12 @@ pub fn e11_single_reader(seeds: u64) -> Table {
             s.to_string(),
             t.to_string(),
             if cfg.fast_feasible() { "yes" } else { "no" }.into(),
-            if cfg.fast_regular_feasible() { "yes" } else { "no" }.into(),
+            if cfg.fast_regular_feasible() {
+                "yes"
+            } else {
+                "no"
+            }
+            .into(),
             seeds.to_string(),
             violations.to_string(),
         ]);
@@ -674,13 +692,7 @@ pub fn e12_exploration(budget: u64) -> Table {
         "violations",
     ]);
     let cases: Vec<(u32, u32, u32, OpScript, &str)> = vec![
-        (
-            4,
-            1,
-            1,
-            OpScript::write_vs_reads(1, [0]),
-            "write ∥ read",
-        ),
+        (4, 1, 1, OpScript::write_vs_reads(1, [0]), "write ∥ read"),
         (
             5,
             1,
@@ -716,7 +728,11 @@ pub fn e12_exploration(budget: u64) -> Table {
             format!(
                 "{}{}",
                 out.schedules,
-                if out.truncated { " (budget)" } else { " (complete)" }
+                if out.truncated {
+                    " (budget)"
+                } else {
+                    " (complete)"
+                }
             ),
             "0".into(),
         ]);

@@ -17,8 +17,11 @@ use fastreg_suite::fastreg_simnet::id::ProcessId;
 use fastreg_suite::prelude::*;
 
 type ByzMsg = fastreg_suite::fastreg::protocols::fast_byz::Msg;
-type MakeServer =
-    fn(&ClusterConfig, fastreg_suite::fastreg::layout::Layout, &mut ByzCtx) -> Box<dyn Automaton<Msg = ByzMsg>>;
+type MakeServer = fn(
+    &ClusterConfig,
+    fastreg_suite::fastreg::layout::Layout,
+    &mut ByzCtx,
+) -> Box<dyn Automaton<Msg = ByzMsg>>;
 
 fn main() {
     // 6 replicas, at most 1 faulty and it may be malicious, 1 auditor
@@ -31,9 +34,16 @@ fn main() {
     );
 
     let attacks: Vec<(&str, MakeServer)> = vec![
-        ("stale replayer", |c, _l, _ctx| Box::new(StaleReplayer::new(c))),
+        ("stale replayer", |c, _l, _ctx| {
+            Box::new(StaleReplayer::new(c))
+        }),
         ("seen inflater", |c, l, ctx| {
-            Box::new(SeenInflater::new(c, l, ctx.verifier.clone(), ctx.writer_key))
+            Box::new(SeenInflater::new(
+                c,
+                l,
+                ctx.verifier.clone(),
+                ctx.writer_key,
+            ))
         }),
         ("signature forger", |_c, _l, _ctx| Box::new(Forger::new())),
     ];
@@ -58,7 +68,11 @@ fn main() {
             cluster.write_sync(digest);
             let fetched = cluster.read(0);
             println!("  published batch head {digest:#x}; auditor fetched {fetched}");
-            assert_eq!(fetched, RegValue::Val(digest), "auditor must see the newest head");
+            assert_eq!(
+                fetched,
+                RegValue::Val(digest),
+                "auditor must see the newest head"
+            );
         }
         cluster.check_atomic().expect("audit trail stays atomic");
 

@@ -51,7 +51,10 @@ fn byz_gallery() {
 
     let out = run_byz_lb(cfg, 0).expect("construction applies");
     println!("T-blocks: {:?}", out.plan.t_blocks);
-    println!("B-blocks: {:?}  (B3 is two-faced: loses its memory towards r1)", out.plan.b_blocks);
+    println!(
+        "B-blocks: {:?}  (B3 is two-faced: loses its memory towards r1)",
+        out.plan.b_blocks
+    );
     println!("violating run: {}", out.violating_run);
     println!("r_R's read returned      : {}", out.r_last_return);
     println!("r_1's second read        : {}", out.r1_second_return);
@@ -66,12 +69,19 @@ fn mwmr_gallery() {
     println!("================================================================");
     let out = run_mwmr_lb(4, 0).expect("construction applies");
     println!("naive one-round MWMR protocol, sequential run¹ (w2 writes 2, then w1 writes 1):");
-    println!("  read returned {} but the last write was {} → P1 violated",
-        out.sequential_return, out.expected_return);
+    println!(
+        "  read returned {} but the last write was {} → P1 violated",
+        out.sequential_return, out.expected_return
+    );
     println!("  linearizable? {}", out.linearizable);
-    println!("  two-round MWMR-ABD control on the same pattern: read returned {}",
-        out.abd_sequential_return);
-    println!("  interpolation chain run¹..run^(S+1) returns: {:?}", out.chain_returns);
+    println!(
+        "  two-round MWMR-ABD control on the same pattern: read returned {}",
+        out.abd_sequential_return
+    );
+    println!(
+        "  interpolation chain run¹..run^(S+1) returns: {:?}",
+        out.chain_returns
+    );
     println!("  (a one-round write cannot make the chain switch — which is exactly");
     println!("   how the proof corners every fast MWMR candidate)\n");
     println!("violating history:\n{}", out.history.render());

@@ -15,10 +15,7 @@ fn main() {
     let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("parameters are consistent");
     println!("S = {}, t = {}, R = {}", cfg.s, cfg.t, cfg.r);
     println!("fast-feasible (R < S/t − 2)? {}", cfg.fast_feasible());
-    println!(
-        "max readers at this (S, t): {:?}",
-        cfg.max_fast_readers()
-    );
+    println!("max readers at this (S, t): {:?}", cfg.max_fast_readers());
 
     // 2. Assemble the Fig. 2 protocol over the simulated network.
     let mut cluster: Cluster<FastCrash> = Cluster::new(cfg, 42);
@@ -41,7 +38,10 @@ fn main() {
         let latency = op.responded_at.expect("complete") - op.invoked_at;
         assert_eq!(latency, 2, "every operation is one round trip");
     }
-    println!("all {} operations completed in one round trip", history.len());
+    println!(
+        "all {} operations completed in one round trip",
+        history.len()
+    );
 
     // 5. The history satisfies the paper's §3.1 atomicity conditions.
     check_swmr_atomicity(&history).expect("atomic");

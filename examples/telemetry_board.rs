@@ -22,11 +22,13 @@ fn main() {
     let cfg = ClusterConfig::crash_stop(7, 1, 4).expect("valid");
     assert!(cfg.fast_feasible());
 
-    let sim = SimConfig::default().with_seed(2026).with_delay(DelayModel::Spike {
-        base: 500,              // 0.5 ms common case
-        spike_prob: 0.05,       // 5% stragglers
-        spike: 10_000,          // 10 ms tail
-    });
+    let sim = SimConfig::default()
+        .with_seed(2026)
+        .with_delay(DelayModel::Spike {
+            base: 500,        // 0.5 ms common case
+            spike_prob: 0.05, // 5% stragglers
+            spike: 10_000,    // 10 ms tail
+        });
     let mut cluster: Cluster<FastCrash> = Cluster::with_sim_config(cfg, sim);
 
     // One replica is down for the whole scenario.
@@ -47,8 +49,14 @@ fn main() {
 
     let reads = report.breakdown.reads.clone().expect("dashboards polled");
     let writes = report.breakdown.writes.clone().expect("gateway published");
-    println!("publishes: {} (p50 {} µs, p95 {} µs)", writes.count, writes.p50, writes.p95);
-    println!("refreshes: {} (p50 {} µs, p95 {} µs)", reads.count, reads.p50, reads.p95);
+    println!(
+        "publishes: {} (p50 {} µs, p95 {} µs)",
+        writes.count, writes.p50, writes.p95
+    );
+    println!(
+        "refreshes: {} (p50 {} µs, p95 {} µs)",
+        reads.count, reads.p50, reads.p95
+    );
     println!("messages per operation: {:.1}", report.messages_per_op());
 
     // The gateway dies mid-publish; dashboards keep refreshing and stay
@@ -67,5 +75,8 @@ fn main() {
     }
 
     check_swmr_atomicity(&cluster.snapshot()).expect("no dashboard ever sees time run backwards");
-    println!("atomicity verified across {} operations", cluster.snapshot().len());
+    println!(
+        "atomicity verified across {} operations",
+        cluster.snapshot().len()
+    );
 }

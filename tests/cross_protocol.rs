@@ -107,11 +107,7 @@ fn partitioned_minority_does_not_block_fast_register() {
     let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
     let mut c: Cluster<FastCrash> = Cluster::new(cfg, 11);
     let isolated = c.layout.server(4);
-    let everyone: Vec<_> = c
-        .world
-        .actor_ids()
-        .filter(|&p| p != isolated)
-        .collect();
+    let everyone: Vec<_> = c.world.actor_ids().filter(|&p| p != isolated).collect();
     c.world.partition(&[isolated], &everyone);
 
     c.write_sync(1);
@@ -124,10 +120,9 @@ fn partitioned_minority_does_not_block_fast_register() {
     // The healed server received the parked writes.
     let ts = c
         .world
-        .with_actor::<fastreg_suite::fastreg::protocols::fast_crash::Server, _, _>(
-            isolated,
-            |s| s.ts,
-        )
+        .with_actor::<fastreg_suite::fastreg::protocols::fast_crash::Server, _, _>(isolated, |s| {
+            s.ts
+        })
         .unwrap();
     assert_eq!(ts, Timestamp(2));
     c.check_atomic().unwrap();
@@ -141,20 +136,12 @@ fn partition_of_more_than_t_servers_stalls_but_stays_safe() {
     let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
     let mut c: Cluster<FastCrash> = Cluster::new(cfg, 12);
     let cut: Vec<_> = vec![c.layout.server(3), c.layout.server(4)];
-    let rest: Vec<_> = c
-        .world
-        .actor_ids()
-        .filter(|p| !cut.contains(p))
-        .collect();
+    let rest: Vec<_> = c.world.actor_ids().filter(|p| !cut.contains(p)).collect();
     c.world.partition(&cut, &rest);
 
     c.write(1);
     c.settle(); // drains what it can; the write stays pending
-    let pending_writes = c
-        .snapshot()
-        .writes()
-        .filter(|w| !w.is_complete())
-        .count();
+    let pending_writes = c.snapshot().writes().filter(|w| !w.is_complete()).count();
     assert_eq!(pending_writes, 1);
 
     c.world.heal_partition(&cut, &rest);

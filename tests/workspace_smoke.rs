@@ -1,0 +1,35 @@
+//! Workspace smoke test: the facade `prelude` must keep re-exporting the
+//! names the crate-level doc example uses. If a re-export breaks, this
+//! fails fast with a clear message instead of a doctest error buried in a
+//! larger run.
+
+use fastreg_suite::prelude::*;
+
+/// The `src/lib.rs` doc example, as a plain test: 5 servers tolerating 1
+/// crash admit 2 fast readers, since `R < S/t − 2` gives `2 < 3`.
+#[test]
+fn prelude_round_trip_matches_lib_doc_example() {
+    let config = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    assert!(config.fast_feasible());
+}
+
+/// One step past the bound must be infeasible: `R = 3` violates `3 < 3`.
+#[test]
+fn bound_is_tight_at_the_doc_example_config() {
+    let config = ClusterConfig::crash_stop(5, 1, 3).expect("valid");
+    assert!(!config.fast_feasible());
+}
+
+/// The prelude's protocol and checker re-exports stay usable end to end:
+/// run a tiny cluster through a write/read and check the history.
+#[test]
+fn prelude_protocol_and_checker_round_trip() {
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let mut cluster: Cluster<FastCrash> = Cluster::new(cfg, 42);
+    cluster.write(7);
+    cluster.settle();
+    assert_eq!(cluster.read(0), RegValue::Val(7));
+    let history = cluster.snapshot();
+    assert!(check_swmr_atomicity(&history).is_ok());
+    assert_eq!(check_linearizable(&history), Ok(true));
+}

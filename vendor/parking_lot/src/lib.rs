@@ -1,0 +1,53 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The workspace vendors the tiny slice of `parking_lot` it actually uses —
+//! [`Mutex`] with a non-poisoning `lock` — implemented over [`std::sync`].
+//! This keeps the build hermetic (no network registry access) while
+//! preserving the call sites unchanged.
+
+use std::sync::MutexGuard as StdMutexGuard;
+
+/// A mutual-exclusion primitive with `parking_lot`'s non-poisoning API.
+///
+/// Unlike [`std::sync::Mutex`], [`Mutex::lock`] returns the guard directly:
+/// a panic while the lock is held does not poison it for later users.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex protecting `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex and returns the protected value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    ///
+    /// Poisoning is ignored, matching `parking_lot` semantics.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Mutably borrows the protected value without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.0.get_mut() {
+            Ok(v) => v,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}

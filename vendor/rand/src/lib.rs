@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements exactly the surface the fastreg workspace uses — seedable
+//! [`rngs::StdRng`], the [`Rng`] extension trait with `gen_range`/`gen_bool`,
+//! and [`seq::IteratorRandom::choose`] — over a deterministic splitmix64 /
+//! xorshift generator. Determinism per seed is the property the simulator
+//! relies on; statistical quality beyond that is not a goal.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// A generator that can be created from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Integer types `gen_range` can draw uniformly.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    /// Uniform draw from `[lo, hi]`.
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+/// Types from which `gen_range` can draw uniformly.
+///
+/// Blanket-implemented for `Range<T>` / `RangeInclusive<T>` so that untyped
+/// integer literals in ranges unify with the destination type, exactly as
+/// they do with upstream rand.
+pub trait SampleRange<T> {
+    /// Draws one value from the range using `rng`.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range: empty inclusive range");
+        T::sample_inclusive(lo, hi, rng)
+    }
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self {
+                let span = (hi as i128 - lo as i128 + 1) as u128;
+                (lo as i128 + (rng.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Extension methods for random generators.
+pub trait Rng: RngCore {
+    /// Draws a value uniformly from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        // 53 uniform mantissa bits, the usual open-interval construction.
+        let unit = (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        unit < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+pub mod rngs {
+    //! Concrete generator implementations.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (splitmix64-seeded xorshift64*).
+    ///
+    /// API-compatible with `rand::rngs::StdRng` for the workspace's usage;
+    /// the stream differs from upstream, which no caller depends on.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // splitmix64 so that nearby seeds give unrelated streams.
+            let mut z = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            StdRng {
+                state: (z ^ (z >> 31)) | 1,
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // xorshift64* — full-period for odd state, cheap and portable.
+            let mut x = self.state;
+            x ^= x >> 12;
+            x ^= x << 25;
+            x ^= x >> 27;
+            self.state = x;
+            x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+        }
+    }
+}
+
+pub mod seq {
+    //! Random selection from sequences and iterators.
+
+    use super::{Rng, RngCore};
+
+    /// Extension trait: uniformly choose one element of an iterator.
+    pub trait IteratorRandom: Iterator + Sized {
+        /// Returns a uniformly chosen element, or `None` if empty.
+        ///
+        /// Uses reservoir sampling, so it is a single pass.
+        fn choose<R: RngCore + ?Sized>(self, rng: &mut R) -> Option<Self::Item> {
+            let mut chosen = None;
+            for (seen, item) in self.enumerate() {
+                if rng.gen_range(0..seen + 1) == 0 {
+                    chosen = Some(item);
+                }
+            }
+            chosen
+        }
+    }
+
+    impl<I: Iterator> IteratorRandom for I {}
+}
+
+/// Commonly imported items.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::IteratorRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.gen_range(0u64..1000), b.gen_range(0u64..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u32..9);
+            assert!((3..9).contains(&v));
+            let w = r.gen_range(5usize..=5);
+            assert_eq!(w, 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut r = StdRng::seed_from_u64(2);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        use super::seq::IteratorRandom;
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let c = (0..4usize).choose(&mut r).unwrap();
+            seen[c] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert!(std::iter::empty::<u8>().choose(&mut r).is_none());
+    }
+}
