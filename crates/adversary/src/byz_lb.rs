@@ -108,10 +108,10 @@ pub fn run_byz_lb(cfg: ClusterConfig, seed: u64) -> Result<ByzLbOutcome, LbError
 fn drive_byz_pr_i(cfg: ClusterConfig, plan: &ByzBlockPlan, seed: u64, i: u32) -> History {
     let r = cfg.r;
     let faulty_block: BTreeSet<u32> = plan.b(i).iter().copied().collect();
-    let mut c: Cluster<FastByz> = Cluster::with_server_factory(
-        cfg,
-        SimConfig::default().with_seed(seed),
-        |cfg, layout, index, ctx: &mut fastreg::harness::ByzCtx| {
+    let mut c: Cluster<FastByz> = fastreg::harness::ClusterBuilder::new(cfg)
+        .sim(SimConfig::default().with_seed(seed))
+        .typed()
+        .server_factory(|cfg, layout, index, ctx: &mut fastreg::harness::ByzCtx| {
             if faulty_block.contains(&index) {
                 Box::new(TwoFacedLoseWrite::new(
                     cfg,
@@ -123,8 +123,8 @@ fn drive_byz_pr_i(cfg: ClusterConfig, plan: &ByzBlockPlan, seed: u64, i: u32) ->
             } else {
                 FastByz::server(cfg, layout, index, ctx)
             }
-        },
-    );
+        })
+        .build();
     let layout = c.layout;
     let t_set = |ks: &[u32]| -> BTreeSet<u32> {
         ks.iter().flat_map(|&k| plan.t(k).iter().copied()).collect()
@@ -199,10 +199,10 @@ fn drive_byz_prc(
 
     // Servers in B_{R+1} are two-faced towards r1.
     let liar_block: BTreeSet<u32> = plan.b(r + 1).iter().copied().collect();
-    let mut c: Cluster<FastByz> = Cluster::with_server_factory(
-        cfg,
-        SimConfig::default().with_seed(seed),
-        |cfg, layout, index, ctx: &mut fastreg::harness::ByzCtx| {
+    let mut c: Cluster<FastByz> = fastreg::harness::ClusterBuilder::new(cfg)
+        .sim(SimConfig::default().with_seed(seed))
+        .typed()
+        .server_factory(|cfg, layout, index, ctx: &mut fastreg::harness::ByzCtx| {
             if liar_block.contains(&index) {
                 Box::new(TwoFacedLoseWrite::new(
                     cfg,
@@ -214,8 +214,8 @@ fn drive_byz_prc(
             } else {
                 FastByz::server(cfg, layout, index, ctx)
             }
-        },
-    );
+        })
+        .build();
     let layout = c.layout;
 
     let t_set = |ks: &[u32]| -> BTreeSet<u32> {

@@ -3,19 +3,26 @@
 //! Usage:
 //!
 //! ```text
-//! report                 # run everything
-//! report e3 e8           # run a subset
-//! report --quick         # smaller seed counts (CI-friendly)
-//! report --json          # machine-readable per-experiment wall times
+//! report                      # run everything
+//! report e3 e8                # run a subset
+//! report --protocol fast-byz  # only experiments exercising that protocol
+//! report --list               # list experiments and registered protocols
+//! report --quick              # smaller seed counts (CI-friendly)
+//! report --json               # machine-readable per-experiment wall times
 //! ```
 //!
-//! `--json` emits one JSON document with the wall-clock time of each
-//! selected experiment; committing its output (see `BENCH_baseline.json`)
-//! anchors the perf trajectory for future changes.
+//! Protocol names are resolved through the runtime registry
+//! (`fastreg::protocols::registry`); unknown experiment or protocol
+//! names exit with code 2 and list the valid ones. `--json` emits one
+//! JSON document with the wall-clock time of each selected experiment;
+//! committing its output (see `BENCH_baseline.json`) anchors the perf
+//! trajectory for future changes.
 
 use std::env;
+use std::process::ExitCode;
 use std::time::Instant;
 
+use fastreg::protocols::registry::{ProtocolId, Registry};
 use fastreg_workload::experiments as exp;
 
 /// Minimal JSON string escaping for the experiment titles.
@@ -33,101 +40,202 @@ fn json_escape(s: &str) -> String {
     out
 }
 
-fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let json = args.iter().any(|a| a == "--json");
-    let selected: Vec<String> = args
-        .iter()
-        .filter(|a| !a.starts_with("--"))
-        .map(|a| a.to_lowercase())
-        .collect();
-    let want = |name: &str| selected.is_empty() || selected.iter().any(|s| s == name);
-    let seeds = if quick { 10 } else { 40 };
+struct Experiment<'a> {
+    id: &'a str,
+    title: &'a str,
+    run: Box<dyn Fn() -> String>,
+}
 
-    type Experiment<'a> = (&'a str, &'a str, Box<dyn Fn() -> String>);
-    let experiments: Vec<Experiment> = vec![
-        (
-            "e1",
-            "E1 — Fig. 2 atomicity under crashes and random schedules",
-            Box::new(move || exp::e1_fast_crash_atomicity(seeds).render()),
-        ),
-        (
-            "e2",
-            "E2 — read/write cost in message delays (fast = 1 round trip)",
-            Box::new(|| exp::e2_round_trips().render()),
-        ),
-        (
-            "e3",
-            "E3 — §5 lower bound: prC violates atomicity iff R ≥ S/t − 2",
-            Box::new(|| exp::e3_crash_lower_bound().render()),
-        ),
-        (
-            "e4",
-            "E4 — Fig. 5 atomicity under the Byzantine behaviour library",
-            Box::new(move || exp::e4_byz_atomicity(seeds).render()),
-        ),
-        (
-            "e5",
-            "E5 — §6.2 lower bound with memory-losing Byzantine servers",
-            Box::new(|| exp::e5_byz_lower_bound().render()),
-        ),
-        (
-            "e6",
-            "E6 — §7: no fast MWMR register (naive candidate refuted)",
-            Box::new(|| exp::e6_mwmr().render()),
-        ),
-        (
-            "e7",
-            "E7 — §8 trade-off: fast regular register vs atomicity",
-            Box::new(move || exp::e7_regular_tradeoff(seeds).render()),
-        ),
-        (
-            "e8",
-            "E8 — feasibility frontier: formula vs experiment",
-            Box::new(|| exp::e8_frontier().render()),
-        ),
-        (
-            "e9",
-            "E9 — read latency distributions across delay models",
-            Box::new(|| exp::e9_latency().render()),
-        ),
-        (
-            "e10",
-            "E10 — predicate internals (witness levels, exact vs brute force)",
-            Box::new(|| exp::e10_predicate().render()),
-        ),
-        (
-            "e11",
-            "E11 — the R = 1 corner: fast single-reader register at t < S/2",
-            Box::new(move || exp::e11_single_reader(seeds).render()),
-        ),
-        (
-            "e12",
-            "E12 — bounded-exhaustive schedule exploration (systematic, not sampled)",
-            Box::new(move || exp::e12_exploration(if quick { 800 } else { 4000 }).render()),
-        ),
-        (
-            "e13",
-            "E13 — ablation: every count-only predicate is refuted (§4's argument for `seen`)",
-            Box::new(|| exp::e13_seen_ablation().render()),
-        ),
-    ];
+fn experiments(quick: bool) -> Vec<Experiment<'static>> {
+    let seeds = if quick { 10 } else { 40 };
+    vec![
+        Experiment {
+            id: "e1",
+            title: "E1 — Fig. 2 atomicity under crashes and random schedules",
+            run: Box::new(move || exp::e1_fast_crash_atomicity(seeds).render()),
+        },
+        Experiment {
+            id: "e2",
+            title: "E2 — read/write cost in message delays (fast = 1 round trip)",
+            run: Box::new(|| exp::e2_round_trips().render()),
+        },
+        Experiment {
+            id: "e3",
+            title: "E3 — §5 lower bound: prC violates atomicity iff R ≥ S/t − 2",
+            run: Box::new(|| exp::e3_crash_lower_bound().render()),
+        },
+        Experiment {
+            id: "e4",
+            title: "E4 — Fig. 5 atomicity under the Byzantine behaviour library",
+            run: Box::new(move || exp::e4_byz_atomicity(seeds).render()),
+        },
+        Experiment {
+            id: "e5",
+            title: "E5 — §6.2 lower bound with memory-losing Byzantine servers",
+            run: Box::new(|| exp::e5_byz_lower_bound().render()),
+        },
+        Experiment {
+            id: "e6",
+            title: "E6 — §7: no fast MWMR register (naive candidate refuted)",
+            run: Box::new(|| exp::e6_mwmr().render()),
+        },
+        Experiment {
+            id: "e7",
+            title: "E7 — §8 trade-off: fast regular register vs atomicity",
+            run: Box::new(move || exp::e7_regular_tradeoff(seeds).render()),
+        },
+        Experiment {
+            id: "e8",
+            title: "E8 — feasibility frontier: formula vs experiment",
+            run: Box::new(|| exp::e8_frontier().render()),
+        },
+        Experiment {
+            id: "e9",
+            title: "E9 — read latency distributions across delay models",
+            run: Box::new(|| exp::e9_latency().render()),
+        },
+        Experiment {
+            id: "e10",
+            title: "E10 — predicate internals (witness levels, exact vs brute force)",
+            run: Box::new(|| exp::e10_predicate().render()),
+        },
+        Experiment {
+            id: "e11",
+            title: "E11 — the R = 1 corner: fast single-reader register at t < S/2",
+            run: Box::new(move || exp::e11_single_reader(seeds).render()),
+        },
+        Experiment {
+            id: "e12",
+            title: "E12 — bounded-exhaustive schedule exploration (systematic, not sampled)",
+            run: Box::new(move || exp::e12_exploration(if quick { 800 } else { 4000 }).render()),
+        },
+        Experiment {
+            id: "e13",
+            title:
+                "E13 — ablation: every count-only predicate is refuted (§4's argument for `seen`)",
+            run: Box::new(|| exp::e13_seen_ablation().render()),
+        },
+    ]
+}
+
+fn print_list(experiments: &[Experiment]) {
+    println!("experiments:");
+    for e in experiments {
+        let names: Vec<&str> = exp::experiment_protocols(e.id)
+            .iter()
+            .map(|p| p.name())
+            .collect();
+        println!("  {:<4} {}  [{}]", e.id, e.title, names.join(", "));
+    }
+    println!("\nregistered protocols:");
+    for entry in Registry::all() {
+        let id = entry.id;
+        println!(
+            "  {:<16} {}  (feasible iff {})",
+            id.name(),
+            id.summary(),
+            id.requirement()
+        );
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+
+    // One parse loop; unknown flags and names are errors, not silent
+    // no-ops. Protocol names resolve through the registry.
+    let mut quick = false;
+    let mut json = false;
+    let mut list = false;
+    let mut protocol: Option<ProtocolId> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let value = if a == "--protocol" {
+            match it.next() {
+                Some(v) => v.clone(),
+                None => {
+                    eprintln!("--protocol needs a value; see --list for registered names");
+                    return ExitCode::from(2);
+                }
+            }
+        } else if let Some(v) = a.strip_prefix("--protocol=") {
+            v.to_string()
+        } else {
+            match a.as_str() {
+                "--quick" => quick = true,
+                "--json" => json = true,
+                "--list" => list = true,
+                _ if a.starts_with("--") => {
+                    eprintln!(
+                        "unknown flag '{a}' (valid: --list, --protocol <name>, --quick, --json)"
+                    );
+                    return ExitCode::from(2);
+                }
+                _ => selected.push(a.to_lowercase()),
+            }
+            continue;
+        };
+        match ProtocolId::parse(&value) {
+            Ok(id) => protocol = Some(id),
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let experiments = experiments(quick);
+
+    // Unknown experiment ids are an error in every mode, --list included.
+    for name in &selected {
+        if !experiments.iter().any(|e| e.id == name) {
+            let ids: Vec<&str> = experiments.iter().map(|e| e.id).collect();
+            eprintln!("unknown experiment '{name}' (valid: {})", ids.join(", "));
+            return ExitCode::from(2);
+        }
+    }
+
+    if list {
+        print_list(&experiments);
+        return ExitCode::SUCCESS;
+    }
+
+    // The per-experiment protocol lists live beside the experiment
+    // implementations in `fastreg_workload::experiments`.
+    let want = |e: &Experiment| {
+        (selected.is_empty() || selected.iter().any(|s| s == e.id))
+            && protocol.is_none_or(|p| exp::experiment_protocols(e.id).contains(&p))
+    };
+
+    // Individually valid filters whose intersection is empty (e.g.
+    // `--protocol fast-byz e3`) would silently report nothing: refuse.
+    if !experiments.iter().any(&want) {
+        let p = protocol.expect("empty selection requires a protocol filter");
+        let matching: Vec<&str> = experiments
+            .iter()
+            .filter(|e| exp::experiment_protocols(e.id).contains(&p))
+            .map(|e| e.id)
+            .collect();
+        eprintln!(
+            "no selected experiment exercises protocol '{}' (its experiments: {})",
+            p.name(),
+            matching.join(", ")
+        );
+        return ExitCode::from(2);
+    }
 
     if json {
         let mut entries = Vec::new();
-        for (id, title, run) in experiments {
-            if !want(id) {
-                continue;
-            }
+        for e in experiments.iter().filter(|e| want(e)) {
             let start = Instant::now();
-            let rendered = run();
+            let rendered = (e.run)();
             let wall_ms = start.elapsed().as_secs_f64() * 1e3;
             entries.push(format!(
                 "    {{\n      \"id\": \"{}\",\n      \"title\": \"{}\",\n      \
                  \"wall_ms\": {:.3},\n      \"table_lines\": {}\n    }}",
-                json_escape(id),
-                json_escape(title),
+                json_escape(e.id),
+                json_escape(e.title),
                 wall_ms,
                 rendered.lines().count()
             ));
@@ -135,6 +243,9 @@ fn main() {
         let mut reproduce = Vec::new();
         if quick {
             reproduce.push("--quick".to_string());
+        }
+        if let Some(p) = protocol {
+            reproduce.push(format!("--protocol {}", p.name()));
         }
         reproduce.extend(selected.iter().cloned());
         reproduce.push("--json".to_string());
@@ -148,16 +259,14 @@ fn main() {
         println!("{}", entries.join(",\n"));
         println!("  ]");
         println!("}}");
-        return;
+        return ExitCode::SUCCESS;
     }
 
-    for (id, title, run) in experiments {
-        if !want(id) {
-            continue;
-        }
+    for e in experiments.iter().filter(|e| want(e)) {
         println!("{}", "=".repeat(72));
-        println!("{title}");
+        println!("{}", e.title);
         println!("{}", "=".repeat(72));
-        println!("{}", run());
+        println!("{}", (e.run)());
     }
+    ExitCode::SUCCESS
 }

@@ -3,7 +3,10 @@
 //! Criterion benchmarks and the `report` binary.
 //!
 //! * `cargo run -p fastreg-bench --bin report --release` regenerates every
-//!   experiment table (E1–E10) from `EXPERIMENTS.md`.
+//!   experiment table (E1–E13) from `EXPERIMENTS.md`; `--list` shows the
+//!   experiments and the registered protocols, and `--protocol <name>`
+//!   (a registry name like `fast-byz`) restricts the run to the
+//!   experiments exercising that protocol.
 //! * `cargo bench -p fastreg-bench` runs the wall-clock and simulated-time
 //!   microbenchmarks:
 //!   - `protocol_reads` — fast vs ABD vs max–min read, simulated cluster;

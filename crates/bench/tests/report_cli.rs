@@ -1,0 +1,109 @@
+//! CLI contract of the `report` binary: `--list`, `--protocol`
+//! filtering through the registry, and exit code 2 with a helpful
+//! message on unknown experiment or protocol names.
+
+use std::process::{Command, Output};
+
+use fastreg::protocols::registry::ProtocolId;
+use fastreg_workload::experiments::EXPERIMENT_IDS;
+
+fn report(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_report"))
+        .args(args)
+        .output()
+        .expect("report binary runs")
+}
+
+#[test]
+fn list_prints_experiments_and_registered_protocols() {
+    let out = report(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    // The binary's catalog must stay in sync with the workload crate's.
+    for eid in EXPERIMENT_IDS {
+        assert!(
+            stdout.contains(&format!("{eid} ")),
+            "--list must mention {eid}"
+        );
+    }
+    for id in ProtocolId::ALL {
+        assert!(
+            stdout.contains(id.name()),
+            "--list must mention protocol {}",
+            id.name()
+        );
+    }
+}
+
+#[test]
+fn unknown_protocol_exits_2_with_the_registered_names() {
+    let out = report(&["--protocol", "fast-quantum"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fast-quantum"));
+    assert!(stderr.contains("fast-crash"), "message lists valid names");
+}
+
+#[test]
+fn missing_protocol_value_exits_2() {
+    let out = report(&["--protocol"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn unknown_experiment_exits_2_with_the_valid_ids() {
+    let out = report(&["e99"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("e99"));
+    assert!(stderr.contains("e1"), "message lists valid experiment ids");
+}
+
+#[test]
+fn list_mode_still_validates_experiment_ids() {
+    let out = report(&["--list", "e99"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("e99"));
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    // A typo'd flag must not silently run every experiment.
+    let out = report(&["--protocl=fast-byz"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--protocl=fast-byz"));
+    assert!(stderr.contains("--protocol"), "message lists valid flags");
+}
+
+#[test]
+fn disjoint_experiment_and_protocol_filters_exit_2() {
+    // e3 is valid, fast-byz is valid, but e3 never runs fast-byz: an
+    // empty intersection must refuse rather than print nothing.
+    let out = report(&["--protocol", "fast-byz", "e3"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("fast-byz"));
+    assert!(
+        stderr.contains("e4"),
+        "message names the protocol's experiments"
+    );
+}
+
+#[test]
+fn protocol_filter_selects_only_that_protocols_experiments() {
+    // swsr-fast appears only in E11, which is cheap enough for CI.
+    let out = report(&["--protocol=swsr-fast", "--quick", "--json"]);
+    assert!(out.status.success(), "{:?}", out);
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"id\": \"e11\""));
+    for other in [
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13",
+    ] {
+        assert!(
+            !stdout.contains(&format!("\"id\": \"{other}\"")),
+            "{other} must be filtered out"
+        );
+    }
+    assert!(stdout.contains("--protocol swsr-fast"), "reproduce line");
+}

@@ -334,17 +334,17 @@ mod tests {
         make: impl Fn(&ClusterConfig, Layout, &mut ByzCtx) -> Box<dyn Automaton<Msg = Msg>>,
     ) -> Cluster<FastByz> {
         // Server 0 is malicious; the rest are honest.
-        Cluster::with_server_factory(
-            cfg(),
-            SimConfig::default().with_seed(seed),
-            |c, l, index, ctx| {
+        crate::harness::ClusterBuilder::new(cfg())
+            .sim(SimConfig::default().with_seed(seed))
+            .typed()
+            .server_factory(|c, l, index, ctx| {
                 if index == 0 {
                     make(c, l, ctx)
                 } else {
                     FastByz::server(c, l, index, ctx)
                 }
-            },
-        )
+            })
+            .build()
     }
 
     fn exercise(mut c: Cluster<FastByz>) {

@@ -1,25 +1,50 @@
-//! One-call cluster assembly over the discrete-event simulator.
+//! Cluster assembly over the discrete-event simulator.
 //!
 //! A [`Cluster`] wires a full register deployment — writer(s), readers,
-//! servers — into a [`World`] and drives operations against it. The
-//! protocol is chosen by a zero-sized [`ProtocolFamily`] type parameter:
+//! servers — into a [`World`] and drives operations against it. Clusters
+//! are assembled by [`ClusterBuilder`], which offers two routes to the
+//! same deployment:
+//!
+//! * **runtime dispatch** — [`ClusterBuilder::build`] takes a
+//!   [`ProtocolId`], validates the protocol's feasibility predicate, and
+//!   returns a type-erased [`DynCluster`]. This is the route for code
+//!   that sweeps protocols as data (CLI flags, registry loops):
 //!
 //! ```
 //! use fastreg::config::ClusterConfig;
-//! use fastreg::harness::{Abd, Cluster, FastCrash};
+//! use fastreg::harness::{ClusterBuilder, RegisterOps};
+//! use fastreg::protocols::registry::ProtocolId;
 //! use fastreg::types::RegValue;
 //!
 //! let cfg = ClusterConfig::crash_stop(5, 1, 2)?;
-//! let mut fast: Cluster<FastCrash> = Cluster::new(cfg, 1);
-//! fast.write_sync(9);
-//! assert_eq!(fast.read(1), RegValue::Val(9));
-//!
-//! let cfg = ClusterConfig::crash_stop(5, 2, 3)?;
-//! let mut abd: Cluster<Abd> = Cluster::new(cfg, 1);
-//! abd.write_sync(9);
-//! assert_eq!(abd.read(2), RegValue::Val(9));
+//! for id in [ProtocolId::FastCrash, ProtocolId::Abd] {
+//!     let mut cluster = ClusterBuilder::new(cfg).seed(1).build(id)?;
+//!     cluster.write_sync(9);
+//!     assert_eq!(cluster.read(1), RegValue::Val(9), "{id}");
+//! }
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! * **static dispatch** — [`ClusterBuilder::typed`] picks the protocol
+//!   by its zero-sized [`ProtocolFamily`] marker at compile time and
+//!   returns a concrete `Cluster<P>`, the zero-cost path that also
+//!   admits a custom [server factory](TypedClusterBuilder::server_factory)
+//!   (e.g. to plant malicious servers) and typed actor introspection:
+//!
+//! ```
+//! use fastreg::config::ClusterConfig;
+//! use fastreg::harness::{Cluster, ClusterBuilder, FastCrash};
+//! use fastreg::types::RegValue;
+//!
+//! let cfg = ClusterConfig::crash_stop(5, 1, 2)?;
+//! let mut fast: Cluster<FastCrash> = ClusterBuilder::new(cfg).seed(1).typed().build();
+//! fast.write_sync(9);
+//! assert_eq!(fast.read(1), RegValue::Val(9));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Both cluster forms implement [`RegisterOps`], so generic drivers take
+//! `&mut dyn RegisterOps` and work with either.
 
 use std::fmt;
 
@@ -30,10 +55,12 @@ use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
 use fastreg_auth::{KeyId, Keychain, SignerHandle, Verifier};
 use fastreg_simnet::automaton::Automaton;
 use fastreg_simnet::runner::SimConfig;
+use fastreg_simnet::time::SimTime;
 use fastreg_simnet::world::World;
 
 use crate::config::ClusterConfig;
 use crate::layout::Layout;
+use crate::protocols::registry::{ProtocolId, Registry};
 use crate::protocols::{abd, fast_byz, fast_crash, fast_regular, maxmin, mwmr, swsr_fast};
 use crate::types::{RegValue, Value};
 
@@ -517,57 +544,230 @@ pub struct Cluster<P: ProtocolFamily> {
     pub ctx: P::Ctx,
 }
 
-impl<P: ProtocolFamily> Cluster<P> {
-    /// Builds a cluster with default simulation settings and the given
-    /// seed.
-    pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
-        Self::with_sim_config(cfg, SimConfig::default().with_seed(seed))
+/// Fluent entry point for assembling clusters.
+///
+/// Collects the cluster configuration and simulation settings, then
+/// hands off to one of two terminal routes:
+///
+/// * [`build`](ClusterBuilder::build) — runtime dispatch on a
+///   [`ProtocolId`]; validates feasibility and returns a [`DynCluster`];
+/// * [`typed`](ClusterBuilder::typed) — compile-time dispatch on a
+///   [`ProtocolFamily`] marker via [`TypedClusterBuilder`], the
+///   zero-cost path that also supports custom server factories.
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    cfg: ClusterConfig,
+    sim: SimConfig,
+    seed: Option<u64>,
+}
+
+impl ClusterBuilder {
+    /// Starts a builder over `cfg` with default simulation settings.
+    pub fn new(cfg: ClusterConfig) -> Self {
+        ClusterBuilder {
+            cfg,
+            sim: SimConfig::default(),
+            seed: None,
+        }
     }
 
-    /// Builds a cluster over a custom simulation configuration.
-    pub fn with_sim_config(cfg: ClusterConfig, sim: SimConfig) -> Self {
-        Self::with_server_factory(cfg, sim, |cfg, layout, index, ctx| {
-            P::server(cfg, layout, index, ctx)
-        })
+    /// Sets the simulation seed. Takes precedence over the seed inside a
+    /// [`sim`](Self::sim) configuration, regardless of call order.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
     }
 
-    /// Builds a cluster with some servers replaced — the entry point for
-    /// Byzantine-behaviour experiments. The factory is called once per
-    /// server index, in order.
-    pub fn with_server_factory(
+    /// Replaces the simulation configuration (delay model, trace
+    /// capacity, step budget; also the seed, unless
+    /// [`seed`](Self::seed) is called, which always wins).
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Builds a type-erased cluster running the protocol named by `id`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::Infeasible`] if the configuration violates
+    /// the protocol's deployment hypotheses (the paper's feasibility
+    /// predicate) — e.g. `R ≥ S/t − 2` for [`ProtocolId::FastCrash`],
+    /// `b > 0` for a crash-stop protocol, or `W > 1` for a SWMR one.
+    pub fn build(self, id: ProtocolId) -> Result<DynCluster, BuildError> {
+        if !id.feasible(&self.cfg) {
+            return Err(BuildError::Infeasible {
+                id,
+                cfg: self.cfg,
+                requirement: id.requirement(),
+            });
+        }
+        Ok(self.build_unchecked(id))
+    }
+
+    /// Builds the protocol named by `id` *without* the feasibility check
+    /// — for experiments that deliberately deploy beyond the bound (the
+    /// lower-bound constructions, the §8 inversion studies).
+    pub fn build_unchecked(self, id: ProtocolId) -> DynCluster {
+        let sim = self.resolved_sim();
+        Registry::get(id).instantiate(self.cfg, sim)
+    }
+
+    /// Switches to compile-time protocol selection.
+    pub fn typed<'f, P: ProtocolFamily>(self) -> TypedClusterBuilder<'f, P> {
+        TypedClusterBuilder {
+            cfg: self.cfg,
+            sim: self.sim,
+            seed: self.seed,
+            factory: None,
+        }
+    }
+
+    /// The simulation config with any [`seed`](Self::seed) override
+    /// applied.
+    fn resolved_sim(&self) -> SimConfig {
+        resolve_sim(self.sim.clone(), self.seed)
+    }
+}
+
+/// The single definition of the "an explicit `.seed()` always wins over
+/// `.sim()`" rule, shared by both builder halves.
+fn resolve_sim(mut sim: SimConfig, seed: Option<u64>) -> SimConfig {
+    if let Some(seed) = seed {
+        sim.seed = seed;
+    }
+    sim
+}
+
+/// A cluster build rejected by the registry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BuildError {
+    /// The configuration violates the protocol's feasibility predicate.
+    Infeasible {
+        /// The requested protocol.
+        id: ProtocolId,
+        /// The offending configuration.
         cfg: ClusterConfig,
-        sim: SimConfig,
-        mut server_factory: impl FnMut(
+        /// Human-readable statement of the violated requirement.
+        requirement: &'static str,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Infeasible {
+                id,
+                cfg,
+                requirement,
+            } => write!(
+                f,
+                "protocol '{}' is infeasible at S={}, t={}, b={}, R={}, W={} (requires {})",
+                id.name(),
+                cfg.s,
+                cfg.t,
+                cfg.b,
+                cfg.r,
+                cfg.w,
+                requirement
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+type ServerFactory<'f, P> = Box<
+    dyn FnMut(
             &ClusterConfig,
             Layout,
             u32,
-            &mut P::Ctx,
-        ) -> Box<dyn Automaton<Msg = P::Msg>>,
+            &mut <P as ProtocolFamily>::Ctx,
+        ) -> Box<dyn Automaton<Msg = <P as ProtocolFamily>::Msg>>
+        + 'f,
+>;
+
+/// The compile-time half of [`ClusterBuilder`]: builds a concrete
+/// `Cluster<P>` (static dispatch, zero-cost operations) and optionally
+/// replaces individual servers — the entry point for Byzantine-behaviour
+/// experiments.
+pub struct TypedClusterBuilder<'f, P: ProtocolFamily> {
+    cfg: ClusterConfig,
+    sim: SimConfig,
+    seed: Option<u64>,
+    factory: Option<ServerFactory<'f, P>>,
+}
+
+impl<'f, P: ProtocolFamily> TypedClusterBuilder<'f, P> {
+    /// Starts a typed builder over `cfg` with default simulation
+    /// settings (equivalent to `ClusterBuilder::new(cfg).typed()`).
+    pub fn new(cfg: ClusterConfig) -> Self {
+        ClusterBuilder::new(cfg).typed()
+    }
+
+    /// Sets the simulation seed. Takes precedence over the seed inside a
+    /// [`sim`](Self::sim) configuration, regardless of call order.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Replaces the simulation configuration (also the seed, unless
+    /// [`seed`](Self::seed) is called, which always wins).
+    pub fn sim(mut self, sim: SimConfig) -> Self {
+        self.sim = sim;
+        self
+    }
+
+    /// Installs a server factory, called once per server index in order;
+    /// return `P::server(..)` for indices that should stay honest.
+    pub fn server_factory(
+        mut self,
+        f: impl FnMut(&ClusterConfig, Layout, u32, &mut P::Ctx) -> Box<dyn Automaton<Msg = P::Msg>> + 'f,
     ) -> Self {
-        let layout = Layout::of(&cfg);
+        self.factory = Some(Box::new(f));
+        self
+    }
+
+    /// Assembles the cluster: writers, readers, then servers (honest or
+    /// from the installed factory), all registered in the simulated
+    /// world in layout order.
+    pub fn build(mut self) -> Cluster<P> {
+        let layout = Layout::of(&self.cfg);
         let history = SharedHistory::new();
-        let seed = sim.seed;
-        let mut ctx = P::make_ctx(&cfg, seed);
+        let sim = resolve_sim(self.sim, self.seed);
+        let mut ctx = P::make_ctx(&self.cfg, sim.seed);
         let mut world: World<P::Msg> = World::new(sim);
-        for i in 0..cfg.w {
-            let a = P::writer(&cfg, layout, i, history.clone(), &mut ctx);
+        for i in 0..self.cfg.w {
+            let a = P::writer(&self.cfg, layout, i, history.clone(), &mut ctx);
             world.add_actor(a);
         }
-        for i in 0..cfg.r {
-            let a = P::reader(&cfg, layout, i, history.clone(), &mut ctx);
+        for i in 0..self.cfg.r {
+            let a = P::reader(&self.cfg, layout, i, history.clone(), &mut ctx);
             world.add_actor(a);
         }
-        for j in 0..cfg.s {
-            let a = server_factory(&cfg, layout, j, &mut ctx);
+        for j in 0..self.cfg.s {
+            let a = match self.factory.as_mut() {
+                Some(factory) => factory(&self.cfg, layout, j, &mut ctx),
+                None => P::server(&self.cfg, layout, j, &mut ctx),
+            };
             world.add_actor(a);
         }
         Cluster {
-            cfg,
+            cfg: self.cfg,
             layout,
             world,
             history,
             ctx,
         }
+    }
+}
+
+impl<P: ProtocolFamily> Cluster<P> {
+    /// Builds a cluster with default simulation settings and the given
+    /// seed — shorthand for `ClusterBuilder::new(cfg).seed(seed).typed().build()`.
+    pub fn new(cfg: ClusterConfig, seed: u64) -> Self {
+        ClusterBuilder::new(cfg).seed(seed).typed().build()
     }
 
     /// Invokes `write(value)` at writer 0 without settling.
@@ -652,6 +852,275 @@ impl<P: ProtocolFamily> Cluster<P> {
     /// Returns the violation if the history is not regular.
     pub fn check_regular(&self) -> Result<(), RegularityViolation> {
         check_swmr_regularity(&self.snapshot())
+    }
+}
+
+/// The uniform operations surface of an assembled register deployment.
+///
+/// Implemented by every concrete `Cluster<P>` (static dispatch) and by
+/// [`DynCluster`] (runtime dispatch), so generic drivers and experiment
+/// loops take `&mut dyn RegisterOps` and run unchanged over any
+/// registered protocol. Besides the register operations themselves, the
+/// trait exposes the slice of simulated-world control the workload
+/// drivers need: virtual time, random scheduling, crash injection, and
+/// message statistics.
+pub trait RegisterOps {
+    /// The deployment's configuration.
+    fn cfg(&self) -> ClusterConfig;
+    /// The role/address layout.
+    fn layout(&self) -> Layout;
+    /// Invokes `write(value)` at writer `wid` without settling.
+    fn write_by(&mut self, wid: u32, value: Value);
+    /// Invokes `read()` at reader `index` without settling.
+    fn read_async(&mut self, index: u32);
+    /// Runs the world until quiescent (timed scheduler).
+    fn settle(&mut self);
+    /// Invokes `read()` at reader `index`, settles, and returns the
+    /// value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the read did not complete (e.g. too many servers
+    /// crashed).
+    fn read(&mut self, index: u32) -> RegValue;
+    /// Snapshot of the recorded history.
+    fn snapshot(&self) -> History;
+    /// Checks the §3.1 SWMR atomicity conditions on the history so far.
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if the history is not atomic.
+    fn check_atomic(&self) -> Result<(), AtomicityViolation>;
+    /// Checks general linearizability (for MWMR histories).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the history is too long for the checker.
+    fn check_linearizable(&self) -> Result<bool, LinCheckError>;
+    /// Checks SWMR regularity (§8).
+    ///
+    /// # Errors
+    ///
+    /// Returns the violation if the history is not regular.
+    fn check_regular(&self) -> Result<(), RegularityViolation>;
+    /// Current virtual time, in ticks.
+    fn now_ticks(&self) -> u64;
+    /// Advances virtual time to `ticks`, delivering everything due.
+    fn advance_to_ticks(&mut self, ticks: u64);
+    /// One step of the timed scheduler; `false` if nothing is in
+    /// transit.
+    fn step_timed(&mut self) -> bool;
+    /// Delivers pending messages in random order until quiescent;
+    /// returns the number of deliveries.
+    fn run_random_until_quiescent(&mut self) -> u64;
+    /// Total messages sent so far.
+    fn messages_sent(&self) -> u64;
+    /// Crashes server `index` immediately.
+    fn crash_server(&mut self, index: u32);
+    /// Arms writer `wid` to crash after its next `sends` message sends.
+    fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize);
+
+    /// Invokes `write(value)` at writer 0 without settling.
+    fn write(&mut self, value: Value) {
+        self.write_by(0, value);
+    }
+
+    /// Invokes `write(value)` at writer 0 and settles.
+    fn write_sync(&mut self, value: Value) {
+        self.write(value);
+        self.settle();
+    }
+}
+
+impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
+    fn cfg(&self) -> ClusterConfig {
+        self.cfg
+    }
+
+    fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    fn write_by(&mut self, wid: u32, value: Value) {
+        Cluster::write_by(self, wid, value);
+    }
+
+    fn read_async(&mut self, index: u32) {
+        Cluster::read_async(self, index);
+    }
+
+    fn settle(&mut self) {
+        Cluster::settle(self);
+    }
+
+    fn read(&mut self, index: u32) -> RegValue {
+        Cluster::read(self, index)
+    }
+
+    fn snapshot(&self) -> History {
+        Cluster::snapshot(self)
+    }
+
+    fn check_atomic(&self) -> Result<(), AtomicityViolation> {
+        Cluster::check_atomic(self)
+    }
+
+    fn check_linearizable(&self) -> Result<bool, LinCheckError> {
+        Cluster::check_linearizable(self)
+    }
+
+    fn check_regular(&self) -> Result<(), RegularityViolation> {
+        Cluster::check_regular(self)
+    }
+
+    fn now_ticks(&self) -> u64 {
+        self.world.now().ticks()
+    }
+
+    fn advance_to_ticks(&mut self, ticks: u64) {
+        self.world.advance_to(SimTime::from_ticks(ticks));
+    }
+
+    fn step_timed(&mut self) -> bool {
+        self.world.step_timed()
+    }
+
+    fn run_random_until_quiescent(&mut self) -> u64 {
+        self.world.run_random_until_quiescent()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.world.stats().sent
+    }
+
+    fn crash_server(&mut self, index: u32) {
+        let p = self.layout.server(index);
+        self.world.crash(p);
+    }
+
+    fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize) {
+        let p = self.layout.writer(wid);
+        self.world.arm_crash_after_sends(p, sends);
+    }
+}
+
+/// A type-erased register deployment: some `Cluster<P>` behind
+/// `dyn` [`RegisterOps`], tagged with the [`ProtocolId`] it runs.
+///
+/// Obtained from [`ClusterBuilder::build`] (or
+/// [`DynCluster::from_cluster`] to erase a cluster built statically).
+/// All operations go through the [`RegisterOps`] impl.
+pub struct DynCluster {
+    id: ProtocolId,
+    inner: Box<dyn RegisterOps>,
+}
+
+impl DynCluster {
+    /// Starts a [`ClusterBuilder`] (convenience alias for
+    /// [`ClusterBuilder::new`]).
+    pub fn builder(cfg: ClusterConfig) -> ClusterBuilder {
+        ClusterBuilder::new(cfg)
+    }
+
+    /// Erases a statically built cluster, tagging it with `id`.
+    pub fn from_cluster<P>(id: ProtocolId, cluster: Cluster<P>) -> Self
+    where
+        P: ProtocolFamily + 'static,
+        P::Ctx: 'static,
+    {
+        DynCluster {
+            id,
+            inner: Box::new(cluster),
+        }
+    }
+
+    /// The protocol this cluster runs.
+    pub fn id(&self) -> ProtocolId {
+        self.id
+    }
+
+    /// The protocol's registered name.
+    pub fn name(&self) -> &'static str {
+        self.id.name()
+    }
+}
+
+impl fmt::Debug for DynCluster {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DynCluster")
+            .field("id", &self.id)
+            .field("cfg", &self.inner.cfg())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RegisterOps for DynCluster {
+    fn cfg(&self) -> ClusterConfig {
+        self.inner.cfg()
+    }
+
+    fn layout(&self) -> Layout {
+        self.inner.layout()
+    }
+
+    fn write_by(&mut self, wid: u32, value: Value) {
+        self.inner.write_by(wid, value);
+    }
+
+    fn read_async(&mut self, index: u32) {
+        self.inner.read_async(index);
+    }
+
+    fn settle(&mut self) {
+        self.inner.settle();
+    }
+
+    fn read(&mut self, index: u32) -> RegValue {
+        self.inner.read(index)
+    }
+
+    fn snapshot(&self) -> History {
+        self.inner.snapshot()
+    }
+
+    fn check_atomic(&self) -> Result<(), AtomicityViolation> {
+        self.inner.check_atomic()
+    }
+
+    fn check_linearizable(&self) -> Result<bool, LinCheckError> {
+        self.inner.check_linearizable()
+    }
+
+    fn check_regular(&self) -> Result<(), RegularityViolation> {
+        self.inner.check_regular()
+    }
+
+    fn now_ticks(&self) -> u64 {
+        self.inner.now_ticks()
+    }
+
+    fn advance_to_ticks(&mut self, ticks: u64) {
+        self.inner.advance_to_ticks(ticks);
+    }
+
+    fn step_timed(&mut self) -> bool {
+        self.inner.step_timed()
+    }
+
+    fn run_random_until_quiescent(&mut self) -> u64 {
+        self.inner.run_random_until_quiescent()
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.inner.messages_sent()
+    }
+
+    fn crash_server(&mut self, index: u32) {
+        self.inner.crash_server(index);
+    }
+
+    fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize) {
+        self.inner.arm_writer_crash_after_sends(wid, sends);
     }
 }
 
@@ -752,16 +1221,127 @@ mod tests {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         // Replace server 4 with a mute (crash-like) server: operations
         // still complete because quorum = 4.
-        let mut c: Cluster<FastCrash> =
-            Cluster::with_server_factory(cfg, SimConfig::default(), |cfg, layout, index, ctx| {
+        let mut c: Cluster<FastCrash> = ClusterBuilder::new(cfg)
+            .typed()
+            .server_factory(|cfg, layout, index, ctx| {
                 if index == 4 {
                     Box::new(ByzActor::new(Box::new(Mute)))
                 } else {
                     FastCrash::server(cfg, layout, index, ctx)
                 }
-            });
+            })
+            .build();
         c.write_sync(1);
         assert_eq!(c.read(0), RegValue::Val(1));
         c.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_infeasible_configs_with_a_typed_error() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 3).unwrap();
+        let err = ClusterBuilder::new(cfg)
+            .build(ProtocolId::FastCrash)
+            .unwrap_err();
+        let BuildError::Infeasible {
+            id,
+            cfg: got,
+            requirement,
+        } = err.clone();
+        assert_eq!(id, ProtocolId::FastCrash);
+        assert_eq!(got, cfg);
+        assert!(!requirement.is_empty());
+        assert!(err.to_string().contains("fast-crash"));
+        assert!(err.to_string().contains("R=3"));
+    }
+
+    #[test]
+    fn seed_wins_over_sim_regardless_of_call_order() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let render = |b: ClusterBuilder| {
+            let mut c = b.build(ProtocolId::FastCrash).unwrap();
+            c.write(1);
+            c.read_async(0);
+            c.run_random_until_quiescent();
+            c.snapshot().render()
+        };
+        // .seed(7) then .sim(..) must behave exactly like .sim(..).seed(7):
+        // the explicit seed survives a later sim() replacement.
+        let seed_then_sim = render(ClusterBuilder::new(cfg).seed(7).sim(SimConfig::default()));
+        let sim_then_seed = render(ClusterBuilder::new(cfg).sim(SimConfig::default()).seed(7));
+        let plain_seed = render(ClusterBuilder::new(cfg).seed(7));
+        assert_eq!(seed_then_sim, sim_then_seed);
+        assert_eq!(seed_then_sim, plain_seed);
+        // And it genuinely differs from the default seed 0 schedule.
+        let default_seed = render(ClusterBuilder::new(cfg).sim(SimConfig::default()));
+        assert_ne!(seed_then_sim, default_seed);
+
+        // Same contract on the typed path.
+        let typed: Cluster<FastCrash> = ClusterBuilder::new(cfg)
+            .seed(7)
+            .sim(SimConfig::default())
+            .typed()
+            .build();
+        let mut typed = DynCluster::from_cluster(ProtocolId::FastCrash, typed);
+        typed.write(1);
+        typed.read_async(0);
+        typed.run_random_until_quiescent();
+        assert_eq!(typed.snapshot().render(), seed_then_sim);
+    }
+
+    #[test]
+    fn build_unchecked_allows_infeasible_deployments() {
+        // Beyond the fast bound: builds anyway (the lower-bound
+        // experiments rely on this), and sequential ops still work.
+        let cfg = ClusterConfig::crash_stop(5, 1, 3).unwrap();
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(1)
+            .build_unchecked(ProtocolId::FastCrash);
+        c.write_sync(4);
+        assert_eq!(c.read(2), RegValue::Val(4));
+    }
+
+    #[test]
+    fn dyn_cluster_matches_static_cluster_run_for_run() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut stat: Cluster<FastCrash> = Cluster::new(cfg, 9);
+        let mut dynamic = DynCluster::builder(cfg)
+            .seed(9)
+            .build(ProtocolId::FastCrash)
+            .unwrap();
+        assert_eq!(dynamic.name(), "fast-crash");
+        assert_eq!(dynamic.id(), ProtocolId::FastCrash);
+        for v in 1..=3u64 {
+            stat.write_sync(v);
+            RegisterOps::write_sync(&mut dynamic, v);
+            assert_eq!(stat.read(0), dynamic.read(0));
+        }
+        assert_eq!(stat.snapshot().render(), dynamic.snapshot().render());
+        assert_eq!(stat.world.stats().sent, dynamic.messages_sent());
+        dynamic.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn register_ops_world_controls_drive_a_dyn_cluster() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(3)
+            .build(ProtocolId::FastCrash)
+            .unwrap();
+        assert_eq!(c.cfg(), cfg);
+        assert_eq!(c.layout(), Layout::of(&cfg));
+        c.crash_server(4); // t = 1 tolerated
+        c.arm_writer_crash_after_sends(0, 3);
+        c.write(1);
+        c.run_random_until_quiescent();
+        let t = c.now_ticks();
+        c.advance_to_ticks(t + 10);
+        assert!(c.now_ticks() >= t + 10);
+        c.read_async(0);
+        c.settle();
+        c.check_atomic().unwrap();
+        c.check_regular().unwrap();
+        assert_eq!(c.check_linearizable(), Ok(true));
+        assert!(!c.step_timed(), "quiescent world has nothing in transit");
+        assert!(format!("{c:?}").contains("fast-crash") || format!("{c:?}").contains("FastCrash"));
     }
 }

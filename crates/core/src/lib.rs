@@ -19,9 +19,14 @@
 //! * [`quorum`] — the counting machinery (`S − a·t − (a−1)·b`, blocks).
 //! * [`predicate`] — the fast-read safety predicate (Fig. 2/5 line 19).
 //! * [`layout`] — role ↔ address mapping.
-//! * [`protocols`] — Fig. 2, Fig. 5, ABD, max–min, fast regular, MWMR.
+//! * [`protocols`] — Fig. 2, Fig. 5, ABD, max–min, fast regular, MWMR,
+//!   and the runtime [`protocols::registry`] (ids ⇄ names ⇄ feasibility
+//!   ⇄ constructors).
 //! * [`byz`] — malicious server strategies (protocol-aware).
-//! * [`harness`] — one-call cluster assembly over the simulator.
+//! * [`harness`] — cluster assembly over the simulator: the
+//!   [`harness::ClusterBuilder`] fluent API, the uniform
+//!   [`harness::RegisterOps`] operations trait, and the type-erased
+//!   [`harness::DynCluster`].
 //!
 //! ## Quickstart
 //!

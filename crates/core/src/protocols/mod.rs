@@ -11,6 +11,11 @@
 //! | [`mwmr::naive_fast`] | §7 counterexample target | 1 round, **unsound** | — |
 //! | [`swsr_fast`] | §1 single-reader trick | 1 round (sticky reads) | `t < S/2`, crash, `R = 1` |
 
+//!
+//! Every protocol is also registered as a runtime value in [`registry`]:
+//! [`registry::ProtocolId`] names it, [`registry::Registry`] enumerates
+//! ids ⇄ names ⇄ feasibility predicates ⇄ constructors.
+
 pub mod abd;
 pub mod ablation;
 pub mod fast_byz;
@@ -18,4 +23,7 @@ pub mod fast_crash;
 pub mod fast_regular;
 pub mod maxmin;
 pub mod mwmr;
+pub mod registry;
 pub mod swsr_fast;
+
+pub use registry::{Contract, ProtocolEntry, ProtocolId, Registry, UnknownProtocol};

@@ -1,21 +1,23 @@
-//! Closed-loop workload driver, generic over the protocol family.
+//! Closed-loop workload driver over any [`RegisterOps`] deployment.
 //!
-//! The driver issues operations against a [`Cluster`] under the *timed*
-//! scheduler: each client has at most one operation outstanding (the
-//! paper's well-formedness assumption), issues the next one after an
-//! optional think time, and the simulated network delivers messages
-//! according to the cluster's delay model. Client idleness is inferred
-//! from the recorded history, which keeps the driver independent of the
-//! per-protocol automaton types.
+//! The driver issues operations against a cluster — concrete
+//! `Cluster<P>` or type-erased
+//! [`DynCluster`](fastreg::harness::DynCluster), anything implementing
+//! [`RegisterOps`] — under the *timed* scheduler: each client has at
+//! most one operation outstanding (the paper's well-formedness
+//! assumption), issues the next one after an optional think time, and
+//! the simulated network delivers messages according to the cluster's
+//! delay model. Client idleness is inferred from the recorded history,
+//! which keeps the driver independent of the per-protocol automaton
+//! types.
 
 use std::collections::HashMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use fastreg::harness::{Cluster, ProtocolFamily};
+use fastreg::harness::RegisterOps;
 use fastreg_atomicity::history::History;
-use fastreg_simnet::time::SimTime;
 
 use crate::metrics::OpBreakdown;
 
@@ -73,22 +75,20 @@ impl WorkloadReport {
 ///
 /// Values written are `1, 2, 3, …` so histories stay checkable by the
 /// SWMR checker (distinct values).
-pub fn run_closed_loop<P: ProtocolFamily>(
-    cluster: &mut Cluster<P>,
-    spec: &WorkloadSpec,
-) -> WorkloadReport {
+pub fn run_closed_loop(cluster: &mut dyn RegisterOps, spec: &WorkloadSpec) -> WorkloadReport {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0c10_ced1);
-    let writer = cluster.layout.writer(0);
-    let readers: Vec<_> = (0..cluster.cfg.r).collect();
+    let layout = cluster.layout();
+    let writer = layout.writer(0);
+    let readers: Vec<_> = (0..cluster.cfg().r).collect();
     let mut next_value = 1u64;
     let mut issued = 0u64;
     // Earliest time each client may issue again (think time gate).
     let mut ready_at: HashMap<u32, u64> = HashMap::new();
 
     while issued < spec.n_ops {
-        let now = cluster.world.now().ticks();
+        let now = cluster.now_ticks();
         // Find idle clients from the history: last op per proc complete?
-        let snapshot = cluster.history.snapshot();
+        let snapshot = cluster.snapshot();
         let mut busy: HashMap<u32, bool> = HashMap::new();
         for op in snapshot.ops() {
             busy.insert(op.proc, !op.is_complete());
@@ -110,7 +110,7 @@ pub fn run_closed_loop<P: ProtocolFamily>(
             progressed = true;
         } else if !readers.is_empty() {
             let pick = readers[rng.gen_range(0..readers.len())];
-            let addr = cluster.layout.reader(pick).index();
+            let addr = layout.reader(pick).index();
             if is_idle(addr, &busy, &ready_at) {
                 cluster.read_async(pick);
                 issued += 1;
@@ -120,22 +120,20 @@ pub fn run_closed_loop<P: ProtocolFamily>(
         }
         if !progressed {
             // Nothing issuable: advance the network a bit.
-            if !cluster.world.step_timed() {
+            if !cluster.step_timed() {
                 // Nothing in transit either: jump past think times.
                 let next_ready = ready_at.values().copied().min().unwrap_or(now + 1);
-                cluster
-                    .world
-                    .advance_to(SimTime::from_ticks(next_ready.max(now + 1)));
+                cluster.advance_to_ticks(next_ready.max(now + 1));
             }
         }
     }
     cluster.settle();
 
-    let history = cluster.history.snapshot();
+    let history = cluster.snapshot();
     WorkloadReport {
         breakdown: OpBreakdown::of(&history),
-        messages_sent: cluster.world.stats().sent,
-        duration_ticks: cluster.world.now().ticks(),
+        messages_sent: cluster.messages_sent(),
+        duration_ticks: cluster.now_ticks(),
         history,
     }
 }
@@ -144,11 +142,14 @@ pub fn run_closed_loop<P: ProtocolFamily>(
 mod tests {
     use super::*;
     use fastreg::config::ClusterConfig;
-    use fastreg::harness::{Abd, FastCrash};
+    use fastreg::harness::{Cluster, ClusterBuilder, FastCrash};
+    use fastreg::protocols::registry::ProtocolId;
     use fastreg_atomicity::swmr::check_swmr_atomicity;
 
     #[test]
     fn closed_loop_completes_all_ops() {
+        // Deliberately static: a concrete `Cluster<P>` must coerce into
+        // the driver's `&mut dyn RegisterOps` unchanged.
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         let mut c: Cluster<FastCrash> = Cluster::new(cfg, 1);
         let report = run_closed_loop(
@@ -171,12 +172,14 @@ mod tests {
             think_time: 2,
             seed: 5,
         };
+        // The same driver runs both protocols through `dyn RegisterOps`.
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
-        let mut fast: Cluster<FastCrash> = Cluster::new(cfg, 1);
-        let fast_report = run_closed_loop(&mut fast, &spec);
-
-        let mut abd: Cluster<Abd> = Cluster::new(cfg, 1);
-        let abd_report = run_closed_loop(&mut abd, &spec);
+        let run = |id: ProtocolId| {
+            let mut c = ClusterBuilder::new(cfg).seed(1).build(id).unwrap();
+            run_closed_loop(&mut c, &spec)
+        };
+        let fast_report = run(ProtocolId::FastCrash);
+        let abd_report = run(ProtocolId::Abd);
 
         let f = fast_report.breakdown.reads.clone().unwrap();
         let a = abd_report.breakdown.reads.clone().unwrap();
@@ -190,7 +193,10 @@ mod tests {
     #[test]
     fn zero_write_fraction_issues_only_reads() {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
-        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 2);
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(2)
+            .build(ProtocolId::FastCrash)
+            .unwrap();
         let report = run_closed_loop(
             &mut c,
             &WorkloadSpec {
@@ -212,7 +218,10 @@ mod tests {
             ..WorkloadSpec::default()
         };
         let run = || {
-            let mut c: Cluster<FastCrash> = Cluster::new(cfg, 4);
+            let mut c = ClusterBuilder::new(cfg)
+                .seed(4)
+                .build(ProtocolId::FastCrash)
+                .unwrap();
             let r = run_closed_loop(&mut c, &spec);
             (r.messages_sent, r.duration_ticks, r.breakdown.completed)
         };

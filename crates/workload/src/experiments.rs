@@ -9,9 +9,10 @@ use fastreg::byz::{
     CounterAbuser, Forger, SeenInflater, StaleOldest, StaleReplayer, TwoFacedLoseWrite,
 };
 use fastreg::config::ClusterConfig;
-use fastreg::harness::{Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, ProtocolFamily};
+use fastreg::harness::{Cluster, ClusterBuilder, FastByz, FastCrash, ProtocolFamily, RegisterOps};
 use fastreg::predicate::{predicate_witness, predicate_witness_bruteforce, PredicateModel};
 use fastreg::protocols::fast_crash;
+use fastreg::protocols::registry::ProtocolId;
 use fastreg::types::{ClientId, RegValue};
 use fastreg_adversary::{
     random_adversarial_search, run_byz_lb, run_crash_lb, run_mwmr_lb, LbError,
@@ -24,6 +25,29 @@ use fastreg_simnet::runner::SimConfig;
 
 use crate::driver::{run_closed_loop, WorkloadSpec};
 use crate::table::Table;
+
+/// The experiment ids, in suite order.
+pub const EXPERIMENT_IDS: [&str; 13] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+];
+
+/// The protocols experiment `id` exercises — the ground truth for the
+/// `report --protocol` filter, kept beside the experiment
+/// implementations so it cannot drift from them. Unknown ids map to the
+/// empty slice.
+pub fn experiment_protocols(id: &str) -> &'static [ProtocolId] {
+    match id {
+        "e1" | "e3" | "e10" | "e12" | "e13" => &[ProtocolId::FastCrash],
+        "e2" => &[ProtocolId::FastCrash, ProtocolId::MaxMin, ProtocolId::Abd],
+        "e4" | "e5" => &[ProtocolId::FastByz],
+        "e6" => &[ProtocolId::MwmrAbd, ProtocolId::MwmrNaiveFast],
+        "e7" => &[ProtocolId::FastRegular],
+        "e8" => &[ProtocolId::FastCrash, ProtocolId::FastByz],
+        "e9" => &[ProtocolId::FastCrash, ProtocolId::Abd],
+        "e11" => &[ProtocolId::SwsrFast],
+        _ => &[],
+    }
+}
 
 /// E1 — Fig. 2 stays atomic under random schedules, crashes and
 /// mid-broadcast writer crashes, across feasible configurations.
@@ -76,48 +100,34 @@ pub fn e2_round_trips() -> Table {
         "paper says",
     ]);
 
-    let mut fast: Cluster<FastCrash> = Cluster::new(cfg, 1);
-    let f = run_closed_loop(&mut fast, &spec);
-    check_swmr_atomicity(&f.history).expect("fast history atomic");
-    let fr = f.breakdown.reads.clone().expect("reads ran");
-    let fw = f.breakdown.writes.clone().expect("writes ran");
-    assert_eq!(fr.max, 2, "fast reads are one round trip");
-    assert_eq!(fw.max, 2, "fast writes are one round trip");
-    table.row(vec![
-        "fast (Fig. 2)".into(),
-        fr.max.to_string(),
-        fw.max.to_string(),
-        format!("{:.1}", f.messages_per_op()),
-        "1 round trip".into(),
-    ]);
-
-    let mut mm: Cluster<MaxMin> = Cluster::new(cfg, 1);
-    let m = run_closed_loop(&mut mm, &spec);
-    check_swmr_atomicity(&m.history).expect("max-min history atomic");
-    let mr = m.breakdown.reads.clone().expect("reads ran");
-    let mw = m.breakdown.writes.clone().expect("writes ran");
-    assert_eq!(mr.max, 3, "max-min reads are 3 message delays");
-    table.row(vec![
-        "max-min (§1)".into(),
-        mr.max.to_string(),
-        mw.max.to_string(),
-        format!("{:.1}", m.messages_per_op()),
-        "servers wait (not fast)".into(),
-    ]);
-
-    let mut abd: Cluster<Abd> = Cluster::new(cfg, 1);
-    let a = run_closed_loop(&mut abd, &spec);
-    check_swmr_atomicity(&a.history).expect("abd history atomic");
-    let ar = a.breakdown.reads.clone().expect("reads ran");
-    let aw = a.breakdown.writes.clone().expect("writes ran");
-    assert_eq!(ar.max, 4, "ABD reads are two round trips");
-    table.row(vec![
-        "ABD".into(),
-        ar.max.to_string(),
-        aw.max.to_string(),
-        format!("{:.1}", a.messages_per_op()),
-        "2 round trips (read writes)".into(),
-    ]);
+    // One registry-driven loop replaces the three hand-monomorphized
+    // blocks; the per-protocol expectations stay as data.
+    let expectations: [(ProtocolId, u64, Option<u64>, &str); 3] = [
+        (ProtocolId::FastCrash, 2, Some(2), "1 round trip"),
+        (ProtocolId::MaxMin, 3, None, "servers wait (not fast)"),
+        (ProtocolId::Abd, 4, None, "2 round trips (read writes)"),
+    ];
+    for (id, read_max, write_max, paper) in expectations {
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(1)
+            .build(id)
+            .expect("E2 protocols are feasible at (5,1,2)");
+        let rep = run_closed_loop(&mut c, &spec);
+        check_swmr_atomicity(&rep.history).unwrap_or_else(|v| panic!("{id} not atomic: {v}"));
+        let r = rep.breakdown.reads.clone().expect("reads ran");
+        let w = rep.breakdown.writes.clone().expect("writes ran");
+        assert_eq!(r.max, read_max, "{id}: read message delays");
+        if let Some(write_delays) = write_max {
+            assert_eq!(w.max, write_delays, "{id}: write message delays");
+        }
+        table.row(vec![
+            id.name().into(),
+            r.max.to_string(),
+            w.max.to_string(),
+            format!("{:.1}", rep.messages_per_op()),
+            paper.into(),
+        ]);
+    }
 
     table
 }
@@ -232,10 +242,10 @@ enum BehaviourKind {
 }
 
 fn byz_run_is_atomic(cfg: ClusterConfig, seed: u64, kind: BehaviourKind) -> bool {
-    let mut c: Cluster<FastByz> = Cluster::with_server_factory(
-        cfg,
-        SimConfig::default().with_seed(seed),
-        |cfg, layout, index, ctx| {
+    let mut c: Cluster<FastByz> = ClusterBuilder::new(cfg)
+        .sim(SimConfig::default().with_seed(seed))
+        .typed()
+        .server_factory(|cfg, layout, index, ctx| {
             if index == 0 {
                 match kind {
                     BehaviourKind::Honest => FastByz::server(cfg, layout, index, ctx),
@@ -271,8 +281,8 @@ fn byz_run_is_atomic(cfg: ClusterConfig, seed: u64, kind: BehaviourKind) -> bool
             } else {
                 FastByz::server(cfg, layout, index, ctx)
             }
-        },
-    );
+        })
+        .build();
     // Mixed concurrent workload with a writer mid-broadcast crash.
     c.write_sync(1);
     c.read_async(0);
@@ -380,22 +390,22 @@ pub fn e7_regular_tradeoff(seeds: u64) -> Table {
     let mut regular_ok = 0u64;
     let mut atomic_violations = 0u64;
     for seed in 0..seeds {
-        let mut c: Cluster<FastRegular> = Cluster::new(cfg, seed);
-        c.world
-            .arm_crash_after_sends(c.layout.writer(0), (seed % 6) as usize);
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(seed)
+            .build(ProtocolId::FastRegular)
+            .expect("fast-regular is feasible at t < S/2");
+        c.arm_writer_crash_after_sends(0, (seed % 6) as usize);
         c.write(1);
         for i in 0..cfg.r {
             c.read_async(i);
         }
-        c.world.run_random_until_quiescent();
+        c.run_random_until_quiescent();
         // Sequential second round of reads to expose inversions.
         for i in 0..cfg.r {
-            c.world
-                .advance_to(fastreg_simnet::time::SimTime::from_ticks(
-                    c.world.now().ticks() + 10,
-                ));
+            let now = c.now_ticks();
+            c.advance_to_ticks(now + 10);
             c.read_async(i);
-            c.world.run_random_until_quiescent();
+            c.run_random_until_quiescent();
         }
         let h = c.snapshot();
         if check_swmr_regularity(&h).is_ok() {
@@ -522,17 +532,20 @@ pub fn e9_latency() -> Table {
         "ABD read p50/p95",
         "p50 ratio",
     ]);
+    // The fast/ABD pair, swept by one registry loop per delay model.
+    let compared = [ProtocolId::FastCrash, ProtocolId::Abd];
     for (name, delay) in delays {
         let sim = SimConfig::default().with_seed(11).with_delay(delay);
-        let mut fast: Cluster<FastCrash> = Cluster::with_sim_config(cfg, sim.clone());
-        let f = run_closed_loop(&mut fast, &spec);
-        check_swmr_atomicity(&f.history).expect("atomic");
-        let fr = f.breakdown.reads.expect("reads ran");
-
-        let mut abd: Cluster<Abd> = Cluster::with_sim_config(cfg, sim);
-        let a = run_closed_loop(&mut abd, &spec);
-        check_swmr_atomicity(&a.history).expect("atomic");
-        let ar = a.breakdown.reads.expect("reads ran");
+        let reads = compared.map(|id| {
+            let mut c = ClusterBuilder::new(cfg)
+                .sim(sim.clone())
+                .build(id)
+                .expect("E9 protocols are feasible at (5,1,2)");
+            let rep = run_closed_loop(&mut c, &spec);
+            check_swmr_atomicity(&rep.history).unwrap_or_else(|v| panic!("{id} not atomic: {v}"));
+            rep.breakdown.reads.expect("reads ran")
+        });
+        let [fr, ar] = reads;
 
         let ratio = ar.p50 as f64 / fr.p50.max(1) as f64;
         assert!(
@@ -552,9 +565,10 @@ pub fn e9_latency() -> Table {
 /// E10 — predicate internals: which witness level `a` justifies fast
 /// reads in practice, and exact-vs-bruteforce agreement.
 pub fn e10_predicate() -> Table {
-    // Witness histogram over a concurrent workload.
+    // Witness histogram over a concurrent workload. The typed builder
+    // keeps static dispatch: the histogram needs typed actor access.
     let cfg = ClusterConfig::crash_stop(7, 1, 4).expect("valid");
-    let mut c: Cluster<FastCrash> = Cluster::new(cfg, 3);
+    let mut c: Cluster<FastCrash> = ClusterBuilder::new(cfg).seed(3).typed().build();
     for round in 0..30u64 {
         c.write(round + 1);
         for i in 0..cfg.r {
@@ -633,7 +647,6 @@ pub fn e10_predicate() -> Table {
 /// register at plain majority resilience `t < S/2`, strictly weaker than
 /// the general protocol's `S > 3t`.
 pub fn e11_single_reader(seeds: u64) -> Table {
-    use fastreg::harness::SwsrFast;
     let mut table = Table::new(vec![
         "S",
         "t",
@@ -646,16 +659,16 @@ pub fn e11_single_reader(seeds: u64) -> Table {
         let cfg = ClusterConfig::crash_stop(s, t, 1).expect("valid");
         let mut violations = 0u64;
         for seed in 0..seeds {
-            let mut c: Cluster<SwsrFast> = Cluster::new(cfg, seed);
-            c.world
-                .arm_crash_after_sends(c.layout.writer(0), (seed % (s as u64 + 1)) as usize);
+            let mut c = ClusterBuilder::new(cfg)
+                .seed(seed)
+                .build(ProtocolId::SwsrFast)
+                .expect("SWSR is feasible at t < S/2, R = 1");
+            c.arm_writer_crash_after_sends(0, (seed % (s as u64 + 1)) as usize);
             c.write(1);
-            c.read_async(0);
-            c.world.run_random_until_quiescent();
-            c.read_async(0);
-            c.world.run_random_until_quiescent();
-            c.read_async(0);
-            c.world.run_random_until_quiescent();
+            for _ in 0..3 {
+                c.read_async(0);
+                c.run_random_until_quiescent();
+            }
             if check_swmr_atomicity(&c.snapshot()).is_err() {
                 violations += 1;
             }
@@ -774,12 +787,25 @@ mod tests {
     use super::*;
 
     #[test]
+    fn every_experiment_names_its_protocols() {
+        for id in EXPERIMENT_IDS {
+            assert!(
+                !experiment_protocols(id).is_empty(),
+                "{id} must declare the protocols it exercises"
+            );
+        }
+        assert!(experiment_protocols("e99").is_empty());
+    }
+
+    #[test]
     fn e2_runs_and_orders_protocols() {
         let t = e2_round_trips();
         assert_eq!(t.len(), 3);
         let s = t.render();
-        assert!(s.contains("fast (Fig. 2)"));
-        assert!(s.contains("ABD"));
+        // Protocol names come from the registry now.
+        assert!(s.contains(ProtocolId::FastCrash.name()));
+        assert!(s.contains(ProtocolId::MaxMin.name()));
+        assert!(s.contains(ProtocolId::Abd.name()));
     }
 
     #[test]

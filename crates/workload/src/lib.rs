@@ -24,6 +24,12 @@
 //!
 //! Each experiment returns a rendered table (and asserts its own internal
 //! expectations); the `report` binary in `fastreg-bench` prints them.
+//!
+//! The [`driver`] is protocol-agnostic: it takes any `&mut dyn
+//! RegisterOps` (a concrete `Cluster<P>` or a registry-built
+//! `DynCluster`), which is how the multi-protocol experiments (E2, E9)
+//! sweep protocols as data instead of monomorphizing per-protocol
+//! blocks.
 
 #![warn(missing_docs)]
 

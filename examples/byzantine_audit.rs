@@ -50,17 +50,19 @@ fn main() {
 
     for (name, make) in attacks {
         println!("\n== replica s1 compromised: {name} ==");
-        let mut cluster: Cluster<FastByz> = Cluster::with_server_factory(
-            cfg,
-            SimConfig::default().with_seed(7),
-            |c, l, index, ctx| {
+        // The typed builder keeps static dispatch: planting a malicious
+        // server and inspecting the reader both need the concrete types.
+        let mut cluster: Cluster<FastByz> = ClusterBuilder::new(cfg)
+            .sim(SimConfig::default().with_seed(7))
+            .typed()
+            .server_factory(|c, l, index, ctx| {
                 if index == 0 {
                     make(c, l, ctx)
                 } else {
                     FastByz::server(c, l, index, ctx)
                 }
-            },
-        );
+            })
+            .build();
 
         // Publish three audit heads; the auditor fetches after each.
         for batch in 1..=3u64 {

@@ -17,8 +17,15 @@ fn main() {
     println!("fast-feasible (R < S/t − 2)? {}", cfg.fast_feasible());
     println!("max readers at this (S, t): {:?}", cfg.max_fast_readers());
 
-    // 2. Assemble the Fig. 2 protocol over the simulated network.
-    let mut cluster: Cluster<FastCrash> = Cluster::new(cfg, 42);
+    // 2. Assemble the Fig. 2 protocol over the simulated network. The
+    //    protocol is a runtime value — parse it from a string, or write
+    //    `ProtocolId::FastCrash` directly. Infeasible configurations are
+    //    rejected here with a typed error.
+    let id: ProtocolId = "fast-crash".parse().expect("registered name");
+    let mut cluster = ClusterBuilder::new(cfg)
+        .seed(42)
+        .build(id)
+        .expect("the configuration is inside the fast bound");
 
     // 3. Do some work.
     cluster.write_sync(100);

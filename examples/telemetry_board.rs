@@ -29,11 +29,13 @@ fn main() {
             spike_prob: 0.05, // 5% stragglers
             spike: 10_000,    // 10 ms tail
         });
-    let mut cluster: Cluster<FastCrash> = Cluster::with_sim_config(cfg, sim);
+    let mut cluster = ClusterBuilder::new(cfg)
+        .sim(sim)
+        .build(ProtocolId::FastCrash)
+        .expect("4 < 7/1 - 2: inside the fast bound");
 
     // One replica is down for the whole scenario.
-    let down = cluster.layout.server(6);
-    cluster.world.crash(down);
+    cluster.crash_server(6);
     println!("replica s7 is down; the register does not care (t = 1)");
 
     // Dashboards poll, the gateway publishes: a 20%-write closed loop.
@@ -61,8 +63,7 @@ fn main() {
 
     // The gateway dies mid-publish; dashboards keep refreshing and stay
     // consistent with each other.
-    let gateway = cluster.layout.writer(0);
-    cluster.world.arm_crash_after_sends(gateway, 2);
+    cluster.arm_writer_crash_after_sends(0, 2);
     cluster.write(999_999);
     for i in 0..cfg.r {
         cluster.read_async(i);

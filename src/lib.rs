@@ -33,11 +33,34 @@ pub use fastreg_simnet;
 pub use fastreg_workload;
 
 /// Commonly used items, re-exported for examples and tests.
+///
+/// Protocols are first-class runtime values: enumerate them with
+/// [`Registry::all`](fastreg::protocols::registry::Registry::all), parse
+/// a [`ProtocolId`](fastreg::protocols::registry::ProtocolId) from a CLI
+/// flag, and build a type-erased
+/// [`DynCluster`](fastreg::harness::DynCluster) with
+/// [`ClusterBuilder`](fastreg::harness::ClusterBuilder):
+///
+/// ```
+/// use fastreg_suite::prelude::*;
+///
+/// let config = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+/// let mut cluster = ClusterBuilder::new(config)
+///     .seed(7)
+///     .build(ProtocolId::FastCrash)
+///     .expect("feasible");
+/// cluster.write_sync(9);
+/// assert_eq!(cluster.read(0), RegValue::Val(9));
+/// cluster.check_atomic().expect("atomic");
+/// ```
 pub mod prelude {
     pub use fastreg::config::ClusterConfig;
     pub use fastreg::harness::{
-        Abd, Cluster, FastByz, FastCrash, FastRegular, MaxMin, MwmrAbd, MwmrNaiveFast,
-        ProtocolFamily,
+        Abd, BuildError, Cluster, ClusterBuilder, DynCluster, FastByz, FastCrash, FastRegular,
+        MaxMin, MwmrAbd, MwmrNaiveFast, ProtocolFamily, RegisterOps, SwsrFast, TypedClusterBuilder,
+    };
+    pub use fastreg::protocols::registry::{
+        Contract, ProtocolEntry, ProtocolId, Registry, UnknownProtocol,
     };
     pub use fastreg::types::{ClientId, RegValue, Role, TaggedValue, Timestamp, Value};
     pub use fastreg_atomicity::history::History;

@@ -16,10 +16,11 @@ fn e1_fast_crash_atomicity_is_clean() {
 
 #[test]
 fn e2_round_trip_structure() {
+    // Protocol name column comes from the registry's kebab-case names.
     let s = exp::e2_round_trips().render();
-    assert!(s.contains("fast (Fig. 2)"));
+    assert!(s.contains("fast-crash"));
     assert!(s.contains("max-min"));
-    assert!(s.contains("ABD"));
+    assert!(s.contains("abd"));
 }
 
 #[test]

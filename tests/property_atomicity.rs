@@ -175,17 +175,17 @@ proptest! {
                 ))),
             }
         };
-        let mut c: Cluster<FastByz> = Cluster::with_server_factory(
-            cfg,
-            SimConfig::default().with_seed(seed),
-            |cc, l, index, ctx| {
+        let mut c: Cluster<FastByz> = ClusterBuilder::new(cfg)
+            .sim(SimConfig::default().with_seed(seed))
+            .typed()
+            .server_factory(|cc, l, index, ctx| {
                 if index == 3 {
                     make(behaviour, cc, l, ctx)
                 } else {
                     FastByz::server(cc, l, index, ctx)
                 }
-            },
-        );
+            })
+            .build();
         c.write_sync(1);
         c.read_async(0);
         c.world.run_random_until_quiescent();

@@ -1,0 +1,174 @@
+//! Cross-protocol conformance: every entry in the runtime registry must
+//! behave like a register when driven through `dyn RegisterOps`, and the
+//! builder must reject infeasible configurations with a typed error.
+//!
+//! This is the suite that keeps the registry honest: adding a protocol
+//! means registering it, and registering it means passing conformance.
+
+use fastreg_suite::prelude::*;
+
+/// Sequential write/read/settle round trips through `dyn RegisterOps`,
+/// on each protocol's canonical feasible configuration. Sequential
+/// histories must be atomic for *every* contract — even the §8 regular
+/// register and the §7 counterexample only diverge under concurrency.
+#[test]
+fn every_registered_protocol_round_trips_through_dyn_register_ops() {
+    for entry in Registry::all() {
+        let id = entry.id;
+        let cfg = id.sample_config();
+        assert!(id.feasible(&cfg), "{id}: sample config must be feasible");
+
+        let mut cluster = ClusterBuilder::new(cfg)
+            .seed(7)
+            .build(id)
+            .unwrap_or_else(|e| panic!("{id}: {e}"));
+        let ops: &mut dyn RegisterOps = &mut cluster;
+
+        assert_eq!(ops.read(0), RegValue::Bottom, "{id}: fresh register is ⊥");
+        ops.write_sync(11);
+        assert_eq!(ops.read(0), RegValue::Val(11), "{id}");
+        ops.write_sync(22);
+        for i in 0..cfg.r {
+            assert_eq!(ops.read(i), RegValue::Val(22), "{id}: reader {i}");
+        }
+        ops.settle();
+
+        if cfg.w == 1 {
+            ops.check_atomic()
+                .unwrap_or_else(|v| panic!("{id}: sequential history not atomic: {v}"));
+        } else {
+            assert_eq!(ops.check_linearizable(), Ok(true), "{id}");
+        }
+    }
+}
+
+/// The registry's feasibility predicates gate `build()`: a configuration
+/// violating a protocol's deployment hypotheses yields
+/// [`BuildError::Infeasible`] naming that protocol, never a cluster.
+#[test]
+fn infeasible_configs_are_rejected_at_build_with_a_typed_error() {
+    let cases: Vec<(ProtocolId, ClusterConfig, &str)> = vec![
+        (
+            ProtocolId::FastCrash,
+            ClusterConfig::crash_stop(5, 1, 3).unwrap(),
+            "R = 3 hits the bound R < S/t - 2",
+        ),
+        (
+            ProtocolId::FastCrash,
+            ClusterConfig::byzantine(9, 1, 1, 1).unwrap(),
+            "b > 0 is not crash-stop",
+        ),
+        (
+            ProtocolId::FastByz,
+            ClusterConfig::byzantine(5, 1, 1, 1).unwrap(),
+            "S = 5 <= (R+2)t + (R+1)b = 5",
+        ),
+        (
+            ProtocolId::Abd,
+            ClusterConfig::crash_stop(4, 2, 1).unwrap(),
+            "no majority: t >= S/2",
+        ),
+        (
+            ProtocolId::MaxMin,
+            ClusterConfig::crash_stop(4, 2, 1).unwrap(),
+            "no majority: t >= S/2",
+        ),
+        (
+            ProtocolId::FastRegular,
+            ClusterConfig::crash_stop(4, 2, 1).unwrap(),
+            "no majority: t >= S/2",
+        ),
+        (
+            ProtocolId::SwsrFast,
+            ClusterConfig::crash_stop(5, 1, 2).unwrap(),
+            "the SWSR trick supports exactly one reader",
+        ),
+        (
+            ProtocolId::MwmrAbd,
+            ClusterConfig::mwmr(4, 2, 2, 1).unwrap(),
+            "no majority: t >= S/2",
+        ),
+        (
+            ProtocolId::MwmrNaiveFast,
+            ClusterConfig::mwmr(4, 2, 2, 1).unwrap(),
+            "no majority: t >= S/2",
+        ),
+        (
+            ProtocolId::MwmrAbd,
+            ClusterConfig::byzantine(9, 1, 1, 1).unwrap(),
+            "b > 0 is not crash-stop",
+        ),
+    ];
+    for (id, cfg, why) in cases {
+        assert!(!id.feasible(&cfg), "{id}: {why}");
+        match ClusterBuilder::new(cfg).build(id) {
+            Err(BuildError::Infeasible {
+                id: got,
+                cfg: got_cfg,
+                requirement,
+            }) => {
+                assert_eq!(got, id, "{why}");
+                assert_eq!(got_cfg, cfg);
+                assert!(!requirement.is_empty());
+            }
+            Ok(_) => panic!("{id}: build must reject ({why})"),
+        }
+    }
+}
+
+/// Every SWMR protocol must produce identical results on the same
+/// sequential run — the value read depends only on register semantics,
+/// not on the protocol (this was previously asserted per-protocol with
+/// hand-monomorphized drivers; the registry makes it one loop).
+#[test]
+fn swmr_protocols_agree_on_sequential_results() {
+    let expected = [
+        RegValue::Bottom,
+        RegValue::Val(11),
+        RegValue::Val(11),
+        RegValue::Val(33),
+    ];
+    for entry in Registry::all() {
+        let id = entry.id;
+        let cfg = id.sample_config();
+        if cfg.w != 1 {
+            continue; // MWMR deployments are covered by the round-trip test.
+        }
+        let mut c = ClusterBuilder::new(cfg).seed(1).build(id).unwrap();
+        let mut got = Vec::new();
+        got.push(c.read(0));
+        c.write_sync(11);
+        got.push(c.read(0));
+        got.push(c.read(1 % cfg.r.max(1)));
+        c.write_sync(22);
+        c.write_sync(33);
+        got.push(c.read(0));
+        assert_eq!(got, expected, "{id}");
+    }
+}
+
+/// `build_unchecked` is the deliberate escape hatch for experiments on
+/// the wrong side of the bound; the typed-vs-erased paths stay in sync.
+#[test]
+fn build_unchecked_and_from_cluster_cover_the_escape_hatches() {
+    // Beyond the fast bound — rejected checked, allowed unchecked.
+    let cfg = ClusterConfig::crash_stop(5, 1, 3).unwrap();
+    assert!(ClusterBuilder::new(cfg)
+        .build(ProtocolId::FastCrash)
+        .is_err());
+    let mut c = ClusterBuilder::new(cfg)
+        .seed(2)
+        .build_unchecked(ProtocolId::FastCrash);
+    c.write_sync(5);
+    assert_eq!(c.read(0), RegValue::Val(5));
+
+    // Erasing a statically built cluster preserves behaviour and identity.
+    let feasible = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+    let typed: Cluster<FastCrash> = ClusterBuilder::new(feasible).seed(3).typed().build();
+    let mut erased = DynCluster::from_cluster(ProtocolId::FastCrash, typed);
+    assert_eq!(erased.id(), ProtocolId::FastCrash);
+    assert_eq!(erased.name(), "fast-crash");
+    erased.write_sync(9);
+    assert_eq!(erased.read(1), RegValue::Val(9));
+    erased.check_atomic().unwrap();
+}

@@ -33,3 +33,34 @@ fn prelude_protocol_and_checker_round_trip() {
     assert!(check_swmr_atomicity(&history).is_ok());
     assert_eq!(check_linearizable(&history), Ok(true));
 }
+
+/// The registry surface — `ProtocolId`, `Registry`, `ClusterBuilder`,
+/// `DynCluster`, `RegisterOps`, `BuildError` — is re-exported by the
+/// prelude and usable end to end: build by id, drive through the trait.
+#[test]
+fn prelude_registry_and_builder_round_trip() {
+    assert_eq!(Registry::all().len(), ProtocolId::ALL.len());
+    let id: ProtocolId = "fast-crash".parse().expect("registered");
+    assert_eq!(id.contract(), Contract::Atomic);
+
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let mut cluster: DynCluster = ClusterBuilder::new(cfg)
+        .seed(42)
+        .build(id)
+        .expect("feasible");
+    let ops: &mut dyn RegisterOps = &mut cluster;
+    ops.write_sync(7);
+    assert_eq!(ops.read(0), RegValue::Val(7));
+    ops.check_atomic().expect("atomic");
+
+    // Infeasible builds surface the typed error through the prelude too.
+    let beyond = ClusterConfig::crash_stop(5, 1, 3).expect("valid");
+    let err: BuildError = ClusterBuilder::new(beyond).build(id).unwrap_err();
+    assert!(err.to_string().contains("fast-crash"));
+
+    // The typed path is re-exported as well.
+    let typed: TypedClusterBuilder<FastCrash> = ClusterBuilder::new(cfg).typed();
+    let mut c = typed.build();
+    c.write_sync(1);
+    assert_eq!(c.read(0), RegValue::Val(1));
+}

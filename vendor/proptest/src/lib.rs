@@ -229,7 +229,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice among boxed alternatives (built by [`prop_oneof!`]).
+    /// Uniform choice among boxed alternatives (built by [`crate::prop_oneof!`]).
     pub struct Union<T> {
         arms: Vec<BoxedStrategy<T>>,
     }
