@@ -119,16 +119,26 @@ impl Operation {
 
 /// A recorded history of operations, in invocation order.
 ///
+/// Alongside the operation list, the history maintains O(1) completion
+/// counters ([`completed_len`](History::completed_len),
+/// [`has_pending`](History::has_pending)) so closed-loop drivers can poll
+/// for client idleness millions of times per run without cloning or
+/// rescanning the recorded operations.
+///
 /// See the crate-level example for typical use.
 #[derive(Clone, Debug, Default)]
 pub struct History {
     ops: Vec<Operation>,
+    /// Number of completed operations (maintained by `respond`).
+    completed: usize,
+    /// Outstanding (invoked, not yet responded) operations per client.
+    pending_by_proc: std::collections::BTreeMap<u32, u32>,
 }
 
 impl History {
     /// Creates an empty history.
     pub fn new() -> Self {
-        History { ops: Vec::new() }
+        History::default()
     }
 
     /// Records the invocation of `write(value)` by `proc` at `at`.
@@ -152,6 +162,7 @@ impl History {
             responded_at: None,
             returned: None,
         });
+        *self.pending_by_proc.entry(proc).or_insert(0) += 1;
         id
     }
 
@@ -172,6 +183,16 @@ impl History {
         );
         op.responded_at = Some(at);
         op.returned = returned;
+        self.completed += 1;
+        let proc = op.proc;
+        if let std::collections::btree_map::Entry::Occupied(mut e) =
+            self.pending_by_proc.entry(proc)
+        {
+            *e.get_mut() -= 1;
+            if *e.get() == 0 {
+                e.remove();
+            }
+        }
     }
 
     /// All operations, in invocation order.
@@ -192,6 +213,24 @@ impl History {
     /// Returns `true` if no operations were recorded.
     pub fn is_empty(&self) -> bool {
         self.ops.is_empty()
+    }
+
+    /// Number of completed operations, in O(1).
+    pub fn completed_len(&self) -> usize {
+        self.completed
+    }
+
+    /// Number of operations still pending (invoked, not responded), in
+    /// O(1).
+    pub fn pending_len(&self) -> usize {
+        self.ops.len() - self.completed
+    }
+
+    /// Returns `true` if client `proc` has an operation outstanding, in
+    /// O(log #clients) — the incremental form of scanning
+    /// [`ops`](History::ops) for an incomplete entry.
+    pub fn has_pending(&self, proc: u32) -> bool {
+        self.pending_by_proc.contains_key(&proc)
     }
 
     /// Iterator over completed operations.
@@ -272,10 +311,22 @@ impl SharedHistory {
         self.inner.lock().clone()
     }
 
-    /// Number of completed operations so far (cheap; used by wall-clock
-    /// drivers to wait for completions without cloning the history).
+    /// Number of operations recorded so far (complete and pending).
+    pub fn recorded_count(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Number of completed operations so far — O(1), used by closed-loop
+    /// and wall-clock drivers to wait for completions without cloning the
+    /// history.
     pub fn completed_count(&self) -> usize {
-        self.inner.lock().complete_ops().count()
+        self.inner.lock().completed_len()
+    }
+
+    /// Returns `true` while client `proc` has an operation outstanding —
+    /// the driver-facing idleness query (no snapshot, no rescan).
+    pub fn client_busy(&self, proc: u32) -> bool {
+        self.inner.lock().has_pending(proc)
     }
 }
 
@@ -358,6 +409,41 @@ mod tests {
         assert_eq!(h.writes().count(), 2);
         assert_eq!(h.reads().count(), 1);
         assert_eq!(h.complete_ops().count(), 0);
+    }
+
+    #[test]
+    fn incremental_counters_track_invoke_and_respond() {
+        let mut h = History::new();
+        assert_eq!(h.completed_len(), 0);
+        assert_eq!(h.pending_len(), 0);
+        assert!(!h.has_pending(0));
+        let w = h.invoke_write(0, 1, 0);
+        let r = h.invoke_read(1, 0);
+        assert_eq!(h.pending_len(), 2);
+        assert!(h.has_pending(0));
+        assert!(h.has_pending(1));
+        h.respond(w, None, 2);
+        assert_eq!(h.completed_len(), 1);
+        assert!(!h.has_pending(0));
+        assert!(h.has_pending(1));
+        h.respond(r, Some(RegValue::Val(1)), 3);
+        assert_eq!(h.completed_len(), 2);
+        assert_eq!(h.pending_len(), 0);
+        // The counters agree with the scan they replace.
+        assert_eq!(h.completed_len(), h.complete_ops().count());
+    }
+
+    #[test]
+    fn shared_history_incremental_queries() {
+        let sh = SharedHistory::new();
+        let w = sh.invoke_write(3, 9, 1);
+        assert!(sh.client_busy(3));
+        assert!(!sh.client_busy(4));
+        assert_eq!(sh.recorded_count(), 1);
+        assert_eq!(sh.completed_count(), 0);
+        sh.respond(w, None, 2);
+        assert!(!sh.client_busy(3));
+        assert_eq!(sh.completed_count(), 1);
     }
 
     #[test]

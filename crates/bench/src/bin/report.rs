@@ -9,6 +9,9 @@
 //! report --list               # list experiments and registered protocols
 //! report --quick              # smaller seed counts (CI-friendly)
 //! report --json               # machine-readable per-experiment wall times
+//! report --quick --baseline BENCH_baseline.json --check-regression 50
+//!                             # diff wall times against a committed
+//!                             # `--json` output; exit 1 past the threshold
 //! ```
 //!
 //! Protocol names are resolved through the runtime registry
@@ -16,7 +19,15 @@
 //! names exit with code 2 and list the valid ones. `--json` emits one
 //! JSON document with the wall-clock time of each selected experiment;
 //! committing its output (see `BENCH_baseline.json`) anchors the perf
-//! trajectory for future changes.
+//! trajectory for future changes, and `--baseline <file>` closes the
+//! loop by rerunning the selected experiments and comparing wall times
+//! against that anchor (`--check-regression <pct>` turns the comparison
+//! into a gate: exit code 1 when any experiment is more than `pct`
+//! percent slower than its baseline). The run's mode must match the
+//! baseline's recorded `"mode"` — quick and full seed counts are not
+//! comparable — and combining `--baseline` with `--json` measures once,
+//! emitting the JSON on stdout and the comparison on stderr, so a CI
+//! step can gate and archive the very same run.
 
 use std::env;
 use std::process::ExitCode;
@@ -115,6 +126,13 @@ fn experiments(quick: bool) -> Vec<Experiment<'static>> {
                 "E13 — ablation: every count-only predicate is refuted (§4's argument for `seen`)",
             run: Box::new(|| exp::e13_seen_ablation().render()),
         },
+        Experiment {
+            id: "e14",
+            title: "E14 — scale: closed-loop throughput to 100k ops (event-queue scheduler)",
+            // The full 1k/10k/100k sweep runs in quick mode too — the
+            // point of the experiment is that 100k ops is cheap now.
+            run: Box::new(|| exp::e14_scale(&[1_000, 10_000, 100_000]).render()),
+        },
     ]
 }
 
@@ -139,6 +157,36 @@ fn print_list(experiments: &[Experiment]) {
     }
 }
 
+/// Extracts the `"mode"` a `report --json` baseline was generated in.
+fn parse_baseline_mode(text: &str) -> Option<String> {
+    text.lines().find_map(|line| {
+        line.trim()
+            .strip_prefix("\"mode\": \"")
+            .and_then(|rest| rest.strip_suffix("\","))
+            .map(str::to_string)
+    })
+}
+
+/// Extracts the `(id, wall_ms)` pairs from a committed `report --json`
+/// output. Deliberately a line scanner, not a JSON parser: the binary
+/// emits the format itself, and the workspace carries no JSON
+/// dependency.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut id: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"id\": \"") {
+            id = rest.strip_suffix("\",").map(str::to_string);
+        } else if let Some(rest) = line.strip_prefix("\"wall_ms\": ") {
+            if let (Some(id), Ok(ms)) = (id.take(), rest.trim_end_matches(',').parse::<f64>()) {
+                out.push((id, ms));
+            }
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
 
@@ -148,41 +196,77 @@ fn main() -> ExitCode {
     let mut json = false;
     let mut list = false;
     let mut protocol: Option<ProtocolId> = None;
+    let mut baseline: Option<String> = None;
+    let mut check_regression: Option<f64> = None;
     let mut selected: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(a) = it.next() {
-        let value = if a == "--protocol" {
-            match it.next() {
-                Some(v) => v.clone(),
-                None => {
-                    eprintln!("--protocol needs a value; see --list for registered names");
-                    return ExitCode::from(2);
-                }
-            }
-        } else if let Some(v) = a.strip_prefix("--protocol=") {
-            v.to_string()
-        } else {
-            match a.as_str() {
-                "--quick" => quick = true,
-                "--json" => json = true,
-                "--list" => list = true,
-                _ if a.starts_with("--") => {
-                    eprintln!(
-                        "unknown flag '{a}' (valid: --list, --protocol <name>, --quick, --json)"
-                    );
-                    return ExitCode::from(2);
-                }
-                _ => selected.push(a.to_lowercase()),
-            }
+        let Some(rest) = a.strip_prefix("--") else {
+            selected.push(a.to_lowercase());
             continue;
         };
-        match ProtocolId::parse(&value) {
-            Ok(id) => protocol = Some(id),
-            Err(e) => {
-                eprintln!("{e}");
+        let (name, inline) = match rest.split_once('=') {
+            Some((n, v)) => (n, Some(v.to_string())),
+            None => (rest, None),
+        };
+        let mut value = |usage: &str| -> Result<String, ExitCode> {
+            inline
+                .clone()
+                .or_else(|| it.next().cloned())
+                .ok_or_else(|| {
+                    eprintln!("{usage}");
+                    ExitCode::from(2)
+                })
+        };
+        match name {
+            "quick" if inline.is_none() => quick = true,
+            "json" if inline.is_none() => json = true,
+            "list" if inline.is_none() => list = true,
+            "protocol" => {
+                let v = match value("--protocol needs a value; see --list for registered names") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                match ProtocolId::parse(&v) {
+                    Ok(id) => protocol = Some(id),
+                    Err(e) => {
+                        eprintln!("{e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "baseline" => {
+                match value("--baseline needs a file path (a committed `report --json` output)") {
+                    Ok(v) => baseline = Some(v),
+                    Err(code) => return code,
+                }
+            }
+            "check-regression" => {
+                let v = match value("--check-regression needs a percentage, e.g. 25") {
+                    Ok(v) => v,
+                    Err(code) => return code,
+                };
+                match v.parse::<f64>() {
+                    Ok(pct) if pct.is_finite() && pct >= 0.0 => check_regression = Some(pct),
+                    _ => {
+                        eprintln!("invalid --check-regression percentage '{v}'");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            _ => {
+                eprintln!(
+                    "unknown flag '{a}' (valid: --list, --protocol <name>, --quick, --json, \
+                     --baseline <file>, --check-regression <pct>)"
+                );
                 return ExitCode::from(2);
             }
         }
+    }
+
+    if check_regression.is_some() && baseline.is_none() {
+        eprintln!("--check-regression needs --baseline <file>");
+        return ExitCode::from(2);
     }
 
     let experiments = experiments(quick);
@@ -225,41 +309,147 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    if json {
-        let mut entries = Vec::new();
-        for e in experiments.iter().filter(|e| want(e)) {
-            let start = Instant::now();
-            let rendered = (e.run)();
-            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
-            entries.push(format!(
-                "    {{\n      \"id\": \"{}\",\n      \"title\": \"{}\",\n      \
-                 \"wall_ms\": {:.3},\n      \"table_lines\": {}\n    }}",
-                json_escape(e.id),
-                json_escape(e.title),
-                wall_ms,
-                rendered.lines().count()
-            ));
+    // Load and validate the baseline *before* spending time measuring.
+    let current_mode = if quick { "quick" } else { "full" };
+    let base: Option<(String, Vec<(String, f64)>)> = match baseline {
+        None => None,
+        Some(path) => {
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read baseline '{path}': {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let entries = parse_baseline(&text);
+            if entries.is_empty() {
+                eprintln!(
+                    "baseline '{path}' has no (id, wall_ms) entries — is it `report --json` output?"
+                );
+                return ExitCode::from(2);
+            }
+            // Quick and full runs use different seed counts, so
+            // cross-mode wall-time comparisons are meaningless.
+            if let Some(mode) = parse_baseline_mode(&text) {
+                if mode != current_mode {
+                    eprintln!(
+                        "baseline '{path}' was generated in {mode} mode but this run is {current_mode} \
+                         ({}): cross-mode wall times are not comparable",
+                        if mode == "quick" {
+                            "add --quick"
+                        } else {
+                            "drop --quick"
+                        }
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+            Some((path, entries))
         }
-        let mut reproduce = Vec::new();
-        if quick {
-            reproduce.push("--quick".to_string());
+    };
+
+    if json || base.is_some() {
+        // One measurement pass serves both outputs: the JSON document
+        // (stdout) and the baseline comparison (stderr when --json owns
+        // stdout, stdout otherwise) judge the *same* run.
+        let measured: Vec<(&Experiment, f64, usize)> = experiments
+            .iter()
+            .filter(|e| want(e))
+            .map(|e| {
+                let start = Instant::now();
+                let rendered = (e.run)();
+                let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+                (e, wall_ms, rendered.lines().count())
+            })
+            .collect();
+
+        let mut exit = ExitCode::SUCCESS;
+        if let Some((path, base)) = base {
+            use std::io::Write as _;
+            let mut cmp: Box<dyn std::io::Write> = if json {
+                Box::new(std::io::stderr())
+            } else {
+                Box::new(std::io::stdout())
+            };
+            let mut regressed: Vec<&str> = Vec::new();
+            let _ = writeln!(
+                cmp,
+                "{:<5} {:>12} {:>12} {:>9}  verdict",
+                "id", "baseline ms", "current ms", "delta"
+            );
+            for (e, wall_ms, _) in &measured {
+                match base.iter().find(|(id, _)| id == e.id) {
+                    None => {
+                        let _ = writeln!(
+                            cmp,
+                            "{:<5} {:>12} {:>12.3} {:>9}  no baseline (new experiment)",
+                            e.id, "-", wall_ms, "-"
+                        );
+                    }
+                    Some((_, base_ms)) => {
+                        let delta_pct = (wall_ms - base_ms) / base_ms.max(f64::EPSILON) * 100.0;
+                        let verdict = match check_regression {
+                            Some(pct) if delta_pct > pct => {
+                                regressed.push(e.id);
+                                "REGRESSED"
+                            }
+                            Some(_) => "ok",
+                            None => "informational",
+                        };
+                        let _ = writeln!(
+                            cmp,
+                            "{:<5} {:>12.3} {:>12.3} {:>+8.1}%  {verdict}",
+                            e.id, base_ms, wall_ms, delta_pct
+                        );
+                    }
+                }
+            }
+            drop(cmp);
+            if !regressed.is_empty() {
+                eprintln!(
+                    "perf regression past the {}% threshold in: {} (baseline: {path})",
+                    check_regression.expect("verdicts only regress with a threshold"),
+                    regressed.join(", ")
+                );
+                exit = ExitCode::from(1);
+            }
         }
-        if let Some(p) = protocol {
-            reproduce.push(format!("--protocol {}", p.name()));
+
+        if json {
+            let entries: Vec<String> = measured
+                .iter()
+                .map(|(e, wall_ms, table_lines)| {
+                    format!(
+                        "    {{\n      \"id\": \"{}\",\n      \"title\": \"{}\",\n      \
+                         \"wall_ms\": {:.3},\n      \"table_lines\": {}\n    }}",
+                        json_escape(e.id),
+                        json_escape(e.title),
+                        wall_ms,
+                        table_lines
+                    )
+                })
+                .collect();
+            let mut reproduce = Vec::new();
+            if quick {
+                reproduce.push("--quick".to_string());
+            }
+            if let Some(p) = protocol {
+                reproduce.push(format!("--protocol {}", p.name()));
+            }
+            reproduce.extend(selected.iter().cloned());
+            reproduce.push("--json".to_string());
+            println!("{{");
+            println!(
+                "  \"generated_by\": \"cargo run --release -p fastreg-bench --bin report -- {}\",",
+                json_escape(&reproduce.join(" "))
+            );
+            println!("  \"mode\": \"{current_mode}\",");
+            println!("  \"experiments\": [");
+            println!("{}", entries.join(",\n"));
+            println!("  ]");
+            println!("}}");
         }
-        reproduce.extend(selected.iter().cloned());
-        reproduce.push("--json".to_string());
-        println!("{{");
-        println!(
-            "  \"generated_by\": \"cargo run --release -p fastreg-bench --bin report -- {}\",",
-            json_escape(&reproduce.join(" "))
-        );
-        println!("  \"mode\": \"{}\",", if quick { "quick" } else { "full" });
-        println!("  \"experiments\": [");
-        println!("{}", entries.join(",\n"));
-        println!("  ]");
-        println!("}}");
-        return ExitCode::SUCCESS;
+        return exit;
     }
 
     for e in experiments.iter().filter(|e| want(e)) {

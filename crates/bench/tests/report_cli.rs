@@ -98,7 +98,7 @@ fn protocol_filter_selects_only_that_protocols_experiments() {
     let stdout = String::from_utf8(out.stdout).unwrap();
     assert!(stdout.contains("\"id\": \"e11\""));
     for other in [
-        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13",
+        "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e12", "e13", "e14",
     ] {
         assert!(
             !stdout.contains(&format!("\"id\": \"{other}\"")),
@@ -106,4 +106,143 @@ fn protocol_filter_selects_only_that_protocols_experiments() {
         );
     }
     assert!(stdout.contains("--protocol swsr-fast"), "reproduce line");
+}
+
+/// A scratch file that cleans up after itself.
+struct TempFile(std::path::PathBuf);
+
+impl TempFile {
+    fn with_content(name: &str, content: &str) -> Self {
+        let path = std::env::temp_dir().join(format!("report_cli_{}_{name}", std::process::id()));
+        std::fs::write(&path, content).expect("temp file writes");
+        TempFile(path)
+    }
+
+    fn path(&self) -> &str {
+        self.0.to_str().expect("utf-8 temp path")
+    }
+}
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+#[test]
+fn check_regression_without_baseline_exits_2() {
+    let out = report(&["--check-regression", "25", "e13"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--baseline"));
+}
+
+#[test]
+fn baseline_with_json_measures_once_and_splits_the_streams() {
+    // One run serves both outputs: the JSON document on stdout (clean
+    // enough to pipe to a file) and the comparison table on stderr.
+    let json = report(&["--quick", "--json", "e13"]);
+    assert!(json.status.success());
+    let baseline = TempFile::with_content(
+        "split_streams.json",
+        &String::from_utf8(json.stdout).unwrap(),
+    );
+    let out = report(&[
+        "--quick",
+        "--json",
+        "--baseline",
+        baseline.path(),
+        "--check-regression",
+        "100000",
+        "e13",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.trim_start().starts_with('{'), "stdout is the JSON");
+    assert!(stdout.contains("\"id\": \"e13\""));
+    assert!(
+        !stdout.contains("verdict"),
+        "comparison must not pollute stdout"
+    );
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("verdict"));
+    assert!(stderr.contains("e13"));
+}
+
+#[test]
+fn baseline_mode_mismatch_exits_2() {
+    // Quick and full runs use different seed counts; comparing their
+    // wall times would report phantom regressions.
+    let json = report(&["--quick", "--json", "e13"]);
+    assert!(json.status.success());
+    let baseline =
+        TempFile::with_content("quick_mode.json", &String::from_utf8(json.stdout).unwrap());
+    let out = report(&["--baseline", baseline.path(), "e13"]); // full mode
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("quick mode"));
+    assert!(stderr.contains("add --quick"));
+}
+
+#[test]
+fn missing_baseline_file_exits_2() {
+    let out = report(&["--baseline", "/nonexistent/base.json", "e13"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("/nonexistent/base.json"));
+}
+
+#[test]
+fn baseline_round_trip_passes_under_a_generous_threshold() {
+    // `--json` output fed straight back as the baseline: the same
+    // experiment re-measured cannot be 100000% slower than itself.
+    let json = report(&["--quick", "--json", "e13"]);
+    assert!(json.status.success());
+    let baseline =
+        TempFile::with_content("round_trip.json", &String::from_utf8(json.stdout).unwrap());
+    let out = report(&[
+        "--quick",
+        "--baseline",
+        baseline.path(),
+        "--check-regression",
+        "100000",
+        "e13",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("e13"));
+    assert!(stdout.contains("ok"));
+}
+
+#[test]
+fn regression_past_the_threshold_exits_1() {
+    // A fabricated sub-nanosecond baseline makes any real run a
+    // regression.
+    let baseline = TempFile::with_content(
+        "impossible.json",
+        "{\n  \"experiments\": [\n    {\n      \"id\": \"e13\",\n      \
+         \"wall_ms\": 0.000001\n    }\n  ]\n}\n",
+    );
+    let out = report(&[
+        "--quick",
+        "--baseline",
+        baseline.path(),
+        "--check-regression",
+        "10",
+        "e13",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("REGRESSED"));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("e13"));
+}
+
+#[test]
+fn unparseable_baseline_exits_2() {
+    let baseline = TempFile::with_content("empty.json", "{ \"experiments\": [] }\n");
+    let out = report(&["--baseline", baseline.path(), "e13"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("no (id, wall_ms) entries"));
 }

@@ -56,7 +56,7 @@ use fastreg_auth::{KeyId, Keychain, SignerHandle, Verifier};
 use fastreg_simnet::automaton::Automaton;
 use fastreg_simnet::runner::SimConfig;
 use fastreg_simnet::time::SimTime;
-use fastreg_simnet::world::World;
+use fastreg_simnet::world::{QuiescenceError, World};
 
 use crate::config::ClusterConfig;
 use crate::layout::Layout;
@@ -788,8 +788,24 @@ impl<P: ProtocolFamily> Cluster<P> {
     }
 
     /// Runs the world until quiescent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step budget is exhausted first (the protocol never
+    /// quiesced); use [`Cluster::try_settle`] to handle that as a value.
     pub fn settle(&mut self) {
-        self.world.run_until_quiescent();
+        self.world.run_until_quiescent_or_panic();
+    }
+
+    /// Runs the world until quiescent, surfacing budget exhaustion as a
+    /// typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`QuiescenceError`] if the step budget ran out while
+    /// messages remained deliverable.
+    pub fn try_settle(&mut self) -> Result<u64, QuiescenceError> {
+        self.world.run_until_quiescent()
     }
 
     /// Invokes `write(value)` at writer 0 and settles.
@@ -874,7 +890,20 @@ pub trait RegisterOps {
     /// Invokes `read()` at reader `index` without settling.
     fn read_async(&mut self, index: u32);
     /// Runs the world until quiescent (timed scheduler).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the step budget is exhausted first; see
+    /// [`try_settle`](RegisterOps::try_settle).
     fn settle(&mut self);
+    /// Runs the world until quiescent, returning the steps taken or a
+    /// typed [`QuiescenceError`] on budget exhaustion.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error if the step budget ran out while messages
+    /// remained deliverable.
+    fn try_settle(&mut self) -> Result<u64, QuiescenceError>;
     /// Invokes `read()` at reader `index`, settles, and returns the
     /// value.
     ///
@@ -884,7 +913,23 @@ pub trait RegisterOps {
     /// crashed).
     fn read(&mut self, index: u32) -> RegValue;
     /// Snapshot of the recorded history.
+    ///
+    /// This clones every recorded operation — fine at the end of a run,
+    /// wasteful inside an issue loop. Drivers polling for progress should
+    /// use the incremental queries
+    /// ([`ops_completed`](RegisterOps::ops_completed),
+    /// [`client_busy`](RegisterOps::client_busy)) instead.
     fn snapshot(&self) -> History;
+    /// Number of operations recorded so far (complete and pending) —
+    /// O(1), no snapshot.
+    fn ops_recorded(&self) -> u64;
+    /// Number of completed operations so far — O(1), no snapshot.
+    fn ops_completed(&self) -> u64;
+    /// Returns `true` while client `proc` (a history proc number, i.e. a
+    /// [`Layout`] address index) has an operation outstanding — the
+    /// incremental idleness query closed-loop drivers poll per issued
+    /// operation.
+    fn client_busy(&self, proc: u32) -> bool;
     /// Checks the §3.1 SWMR atomicity conditions on the history so far.
     ///
     /// # Errors
@@ -953,12 +998,28 @@ impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
         Cluster::settle(self);
     }
 
+    fn try_settle(&mut self) -> Result<u64, QuiescenceError> {
+        Cluster::try_settle(self)
+    }
+
     fn read(&mut self, index: u32) -> RegValue {
         Cluster::read(self, index)
     }
 
     fn snapshot(&self) -> History {
         Cluster::snapshot(self)
+    }
+
+    fn ops_recorded(&self) -> u64 {
+        self.history.recorded_count() as u64
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.history.completed_count() as u64
+    }
+
+    fn client_busy(&self, proc: u32) -> bool {
+        self.history.client_busy(proc)
     }
 
     fn check_atomic(&self) -> Result<(), AtomicityViolation> {
@@ -1075,12 +1136,28 @@ impl RegisterOps for DynCluster {
         self.inner.settle();
     }
 
+    fn try_settle(&mut self) -> Result<u64, QuiescenceError> {
+        self.inner.try_settle()
+    }
+
     fn read(&mut self, index: u32) -> RegValue {
         self.inner.read(index)
     }
 
     fn snapshot(&self) -> History {
         self.inner.snapshot()
+    }
+
+    fn ops_recorded(&self) -> u64 {
+        self.inner.ops_recorded()
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.inner.ops_completed()
+    }
+
+    fn client_busy(&self, proc: u32) -> bool {
+        self.inner.client_busy(proc)
     }
 
     fn check_atomic(&self) -> Result<(), AtomicityViolation> {
@@ -1318,6 +1395,35 @@ mod tests {
         assert_eq!(stat.snapshot().render(), dynamic.snapshot().render());
         assert_eq!(stat.world.stats().sent, dynamic.messages_sent());
         dynamic.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn incremental_queries_match_the_snapshot() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(5)
+            .build(ProtocolId::FastCrash)
+            .unwrap();
+        assert_eq!(c.ops_recorded(), 0);
+        assert_eq!(c.ops_completed(), 0);
+        let w_addr = c.layout().writer(0).index();
+        let r_addr = c.layout().reader(0).index();
+        c.write(1); // outstanding until settled
+        assert!(c.client_busy(w_addr));
+        assert!(!c.client_busy(r_addr));
+        assert_eq!(c.ops_recorded(), 1);
+        assert_eq!(c.ops_completed(), 0);
+        let steps = c.try_settle().expect("quiesces well within budget");
+        assert!(steps > 0);
+        assert!(!c.client_busy(w_addr));
+        assert_eq!(c.ops_completed(), 1);
+        c.read_async(0);
+        assert!(c.client_busy(r_addr));
+        c.settle();
+        // The O(1) counters agree with the full snapshot they replace.
+        let snap = c.snapshot();
+        assert_eq!(c.ops_recorded(), snap.len() as u64);
+        assert_eq!(c.ops_completed(), snap.complete_ops().count() as u64);
     }
 
     #[test]

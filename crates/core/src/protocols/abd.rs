@@ -380,9 +380,9 @@ mod tests {
     fn write_then_read() {
         let (mut w, l, h) = cluster(cfg_majority(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 11 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(
             hist.reads().next().unwrap().returned,
@@ -395,10 +395,10 @@ mod tests {
     fn read_takes_two_round_trips() {
         let (mut w, l, h) = cluster(cfg_majority(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let t0 = w.now();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let rd = hist.reads().next().unwrap();
         // Two round trips at unit delay: 4 ticks. The fast protocol's read
@@ -411,7 +411,7 @@ mod tests {
     fn read_message_complexity_is_4s() {
         let (mut w, l, _) = cluster(cfg_majority(), 1);
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         // Query + QueryAck + WriteBack + WriteBackAck, each S messages.
         assert_eq!(w.stats().sent, 20);
     }
@@ -424,12 +424,12 @@ mod tests {
         let (mut w, l, h) = cluster(cfg_majority(), 1);
         w.arm_crash_after_sends(l.writer(0), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let first = h.snapshot().reads().next().unwrap().returned;
         w.inject(l.reader(1), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let second = hist.reads().nth(1).unwrap().returned;
         if first == Some(RegValue::Val(9)) {
@@ -444,9 +444,9 @@ mod tests {
         w.crash(l.server(0));
         w.crash(l.server(1));
         w.inject(l.writer(0), Msg::InvokeWrite { value: 4 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(2), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(hist.complete_ops().count(), 2);
         assert_eq!(
@@ -477,7 +477,7 @@ mod tests {
     fn reads_return_bottom_before_writes() {
         let (mut w, l, h) = cluster(cfg_majority(), 1);
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         assert_eq!(
             h.snapshot().reads().next().unwrap().returned,
             Some(RegValue::Bottom)

@@ -174,9 +174,9 @@ mod tests {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         let (mut w, l, h) = cluster(cfg, 3);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 4 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(
             hist.reads().next().unwrap().returned,
@@ -190,7 +190,7 @@ mod tests {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         let (mut w, l, h) = cluster(cfg, 3);
         w.inject(l.reader(1), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let rd = h.snapshot().reads().next().unwrap().clone();
         assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
     }

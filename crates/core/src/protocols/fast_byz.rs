@@ -577,9 +577,9 @@ mod tests {
     fn write_then_read_honest_run() {
         let (mut w, l, h) = cluster(cfg_byz(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 31 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(
             hist.reads().next().unwrap().returned,
@@ -592,9 +592,9 @@ mod tests {
     fn operations_are_fast() {
         let (mut w, l, h) = cluster(cfg_byz(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         for op in hist.complete_ops() {
             assert_eq!(op.responded_at.unwrap() - op.invoked_at, 2);
@@ -643,9 +643,9 @@ mod tests {
         let (mut w, l, h) = cluster(cfg_byz(), 2);
         for v in 1..=4 {
             w.inject(l.writer(0), Msg::InvokeWrite { value: v });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.reader(0), Msg::InvokeRead);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
         }
         let hist = h.snapshot();
         check_swmr_atomicity(&hist).unwrap();
@@ -678,16 +678,16 @@ mod tests {
         w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
         // The write never reaches server 5.
         w.drop_matching(|e| e.to == s5);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         assert_eq!(
             w.with_actor::<Server, _, _>(s5, |s| s.record.ts).unwrap(),
             Timestamp::ZERO
         );
         // First read adopts ts1; second read writes it back, signed.
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         assert_eq!(
             w.with_actor::<Server, _, _>(s5, |s| s.record.ts).unwrap(),
             Timestamp(1)

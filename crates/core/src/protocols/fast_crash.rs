@@ -445,9 +445,9 @@ mod tests {
     fn sequential_write_then_read() {
         let (mut w, l, h) = cluster(cfg512(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 42 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(hist.complete_ops().count(), 2);
         let read = hist.reads().next().unwrap();
@@ -459,7 +459,7 @@ mod tests {
     fn read_before_any_write_returns_bottom() {
         let (mut w, l, h) = cluster(cfg512(), 1);
         w.inject(l.reader(1), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let read = hist.reads().next().unwrap();
         assert_eq!(read.returned, Some(RegValue::Bottom));
@@ -472,13 +472,13 @@ mod tests {
         // T + 2 (request + reply): one round trip, the definition of fast.
         let (mut w, l, h) = cluster(cfg512(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 7 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let wr = hist.writes().next().unwrap();
         assert_eq!(wr.responded_at.unwrap() - wr.invoked_at, 2);
 
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let rd = hist.reads().next().unwrap();
         assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
@@ -488,11 +488,11 @@ mod tests {
     fn message_complexity_is_2s_per_op() {
         let (mut w, l, _) = cluster(cfg512(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 7 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         // S write + S writeack.
         assert_eq!(w.stats().sent, 10);
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         assert_eq!(w.stats().sent, 20);
     }
 
@@ -501,9 +501,9 @@ mod tests {
         let (mut w, l, h) = cluster(cfg512(), 3);
         for v in 1..=5 {
             w.inject(l.writer(0), Msg::InvokeWrite { value: v * 10 });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.reader((v % 2) as u32), Msg::InvokeRead);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
         }
         let hist = h.snapshot();
         assert_eq!(hist.complete_ops().count(), 10);
@@ -523,9 +523,9 @@ mod tests {
         // Writer crashes after sending to exactly 1 server.
         w.arm_crash_after_sends(l.writer(0), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let rd = hist.reads().next().unwrap();
         assert_eq!(rd.returned, Some(RegValue::Bottom));
@@ -537,9 +537,9 @@ mod tests {
         let (mut w, l, _) = cluster(cfg512(), 1);
         w.arm_crash_after_sends(l.writer(0), 2);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         // Reader adopted ts1 even though it returned ⊥ (the prev tag).
         let (ts, conservative) = w
             .with_actor::<Reader, _, _>(l.reader(0), |r| (r.max_ts, r.conservative_reads))
@@ -552,9 +552,9 @@ mod tests {
     fn predicate_histogram_records_witness_levels() {
         let (mut w, l, _) = cluster(cfg512(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = w
             .with_actor::<Reader, _, _>(l.reader(0), |r| r.witness_histogram.clone())
             .unwrap();
@@ -570,10 +570,10 @@ mod tests {
         let (mut w, l, h) = cluster(cfg, 5);
         w.crash(l.server(4));
         w.inject(l.writer(0), Msg::InvokeWrite { value: 3 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
         w.inject(l.reader(1), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(hist.complete_ops().count(), 3);
         check_swmr_atomicity(&hist).unwrap();

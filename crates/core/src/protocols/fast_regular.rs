@@ -315,9 +315,9 @@ mod tests {
     fn write_then_read() {
         let (mut w, l, h) = cluster(cfg_many_readers(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 5 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(3), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(
             hist.reads().next().unwrap().returned,
@@ -330,7 +330,7 @@ mod tests {
     fn read_is_one_round_trip() {
         let (mut w, l, h) = cluster(cfg_many_readers(), 1);
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let rd = hist.reads().next().unwrap();
         assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
@@ -399,9 +399,9 @@ mod tests {
         w.crash(l.server(0));
         w.crash(l.server(1));
         w.inject(l.writer(0), Msg::InvokeWrite { value: 8 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(5), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(hist.complete_ops().count(), 2);
         check_swmr_regularity(&hist).unwrap();

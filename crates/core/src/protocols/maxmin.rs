@@ -408,9 +408,9 @@ mod tests {
     fn write_then_read() {
         let (mut w, l, h) = cluster(cfg_majority(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 21 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(
             hist.reads().next().unwrap().returned,
@@ -423,9 +423,9 @@ mod tests {
     fn read_takes_three_message_delays() {
         let (mut w, l, h) = cluster(cfg_majority(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         let rd = hist.reads().next().unwrap();
         // client→server (1) + gossip (1) + server→client (1) = 3 at unit
@@ -477,9 +477,9 @@ mod tests {
         w.crash(l.server(3));
         w.crash(l.server(4));
         w.inject(l.writer(0), Msg::InvokeWrite { value: 2 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(hist.complete_ops().count(), 2);
         check_swmr_atomicity(&hist).unwrap();
@@ -501,7 +501,7 @@ mod tests {
                 op_counter: 1,
             },
         );
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         // One gather only: reports carry at most S entries and one ack per
         // server went out. (If the duplicate restarted the gather we'd see
         // a double broadcast.)

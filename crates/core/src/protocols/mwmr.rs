@@ -629,11 +629,11 @@ mod tests {
         fn two_writers_sequential() {
             let (mut w, l, h) = cluster(cfg(), 1);
             w.inject(l.writer(0), Msg::InvokeWrite { value: 10 });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.writer(1), Msg::InvokeWrite { value: 20 });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.reader(0), Msg::InvokeRead);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             let hist = h.snapshot();
             assert_eq!(
                 hist.reads().next().unwrap().returned,
@@ -646,7 +646,7 @@ mod tests {
         fn writes_are_two_rounds() {
             let (mut w, l, h) = cluster(cfg(), 1);
             w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             let hist = h.snapshot();
             let wr = hist.writes().next().unwrap();
             // Query + Store: 4 message delays — not fast, as §7 requires.
@@ -718,9 +718,9 @@ mod tests {
         fn all_ops_are_one_round() {
             let (mut w, l, h) = cluster(cfg(), 1);
             w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.reader(0), Msg::InvokeRead);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             let hist = h.snapshot();
             for op in hist.complete_ops() {
                 assert_eq!(op.responded_at.unwrap() - op.invoked_at, 2);
@@ -732,11 +732,11 @@ mod tests {
             // The protocol is plausible: on sequential schedules it behaves.
             let (mut w, l, h) = cluster(cfg(), 1);
             w.inject(l.writer(0), Msg::InvokeWrite { value: 1 });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.writer(1), Msg::InvokeWrite { value: 2 });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.reader(0), Msg::InvokeRead);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             let hist = h.snapshot();
             // Writer 1's local seq is 1 == writer 0's, so its write ties at
             // seq 1 and wins on wid — the read sees 2.
@@ -752,10 +752,10 @@ mod tests {
             let (mut w, l, h) = cluster(cfg(), 1);
             for v in 1..=3 {
                 w.inject(l.writer(0), Msg::InvokeWrite { value: v });
-                w.run_until_quiescent();
+                w.run_until_quiescent_or_panic();
             }
             w.inject(l.reader(1), Msg::InvokeRead);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             let hist = h.snapshot();
             assert_eq!(
                 hist.reads().next().unwrap().returned,

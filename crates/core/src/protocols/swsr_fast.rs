@@ -341,9 +341,9 @@ mod tests {
     fn write_then_read() {
         let (mut w, l, h) = cluster(cfg_majority_only(), 1);
         w.inject(l.writer(0), Msg::InvokeWrite { value: 9 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(
             hist.reads().next().unwrap().returned,
@@ -356,7 +356,7 @@ mod tests {
     fn reads_are_one_round_trip() {
         let (mut w, l, h) = cluster(cfg_majority_only(), 1);
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let rd = h.snapshot().reads().next().unwrap().clone();
         assert_eq!(rd.responded_at.unwrap() - rd.invoked_at, 2);
     }
@@ -414,9 +414,9 @@ mod tests {
         let (mut w, l, h) = cluster(ClusterConfig::crash_stop(5, 2, 1).unwrap(), 3);
         for v in 1..=6u64 {
             w.inject(l.writer(0), Msg::InvokeWrite { value: v });
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.inject(l.reader(0), Msg::InvokeRead);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
         }
         let hist = h.snapshot();
         check_swmr_atomicity(&hist).unwrap();
@@ -431,9 +431,9 @@ mod tests {
         w.crash(l.server(0));
         w.crash(l.server(1));
         w.inject(l.writer(0), Msg::InvokeWrite { value: 5 });
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         w.inject(l.reader(0), Msg::InvokeRead);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         let hist = h.snapshot();
         assert_eq!(hist.complete_ops().count(), 2);
         check_swmr_atomicity(&hist).unwrap();

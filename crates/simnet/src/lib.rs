@@ -22,11 +22,21 @@
 //! * [`world::World`] holds `mset` (the in-transit pool) and executes steps.
 //!   Two driving styles coexist:
 //!   - **timed**: each message gets a delivery time from a [`delay::DelayModel`]
-//!     and steps fire in virtual-time order ([`run_until_quiescent`](world::World::run_until_quiescent));
+//!     and steps fire in virtual-time order ([`run_until_quiescent`](world::World::run_until_quiescent)),
+//!     popped from an indexed event queue ([`world::sched`]) in O(log n)
+//!     per step;
 //!   - **scripted**: a driver (test or adversary) picks exactly which
 //!     in-transit messages are delivered and when ([`deliver`](world::World::deliver),
 //!     [`deliver_set`](world::World::deliver_set)), which is how the paper's lower-bound partial
 //!     runs are constructed.
+//!
+//!   Both styles converge on one internal delivery path (trace entry,
+//!   statistics, receiver step), so a run that mixes them — deliver a few
+//!   messages by hand, then let the clock finish the round — records
+//!   exactly the same kind of evidence as a purely timed one. Scripted
+//!   removals simply leave stale index entries behind for the timed
+//!   scheduler to discard lazily; see the [`world::sched`] docs for the
+//!   invalidation rules.
 //! * [`fault`] injects crashes, including crashing a process *in the middle
 //!   of a broadcast* after an arbitrary prefix of sends — the paper is
 //!   explicit that algorithms must tolerate this (§4, correctness preamble).
@@ -68,7 +78,7 @@
 //! let pinger = world.add_actor(Box::new(Pinger { got_pong: false }));
 //! let ponger = world.add_actor(Box::new(Ponger));
 //! world.send_from_external(pinger, ponger, Msg::Ping);
-//! world.run_until_quiescent();
+//! world.run_until_quiescent().expect("ping-pong quiesces");
 //! assert!(world.with_actor::<Pinger, _, _>(pinger, |p| p.got_pong).unwrap());
 //! ```
 
@@ -98,5 +108,5 @@ pub mod prelude {
     pub use crate::runner::SimConfig;
     pub use crate::time::SimTime;
     pub use crate::trace::{Trace, TraceEntry};
-    pub use crate::world::World;
+    pub use crate::world::{QuiescenceError, World};
 }

@@ -1,4 +1,14 @@
 //! The simulated world: actors, the in-transit message set, and steps.
+//!
+//! Delivery is organized around two data structures: the authoritative
+//! in-transit map `mset` (every envelope, addressable by id — the
+//! scripted/adversarial API works on this) and the [`sched::ReadyQueue`]
+//! index the *timed* scheduler pops from in O(log n) per step. Both
+//! driving styles funnel into one internal delivery path, so traces,
+//! statistics and actor steps are identical whichever style (or mix)
+//! drives a run.
+
+pub mod sched;
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -15,6 +25,9 @@ use crate::runner::SimConfig;
 use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::trace::{DropReason, Trace, TraceEntry};
+
+pub use sched::QuiescenceError;
+use sched::ReadyQueue;
 
 /// Error returned by scripted delivery operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -48,16 +61,21 @@ struct Slot<M> {
 ///
 /// * **Timed**: [`World::run_until_quiescent`] and [`World::step_timed`]
 ///   deliver messages in virtual-time order according to the configured
-///   [`DelayModel`](crate::delay::DelayModel).
+///   [`DelayModel`](crate::delay::DelayModel), popping from the
+///   [`sched::ReadyQueue`] index.
 /// * **Scripted**: [`World::deliver`], [`World::deliver_set`],
 ///   [`World::deliver_matching`] give a driver complete control over which
 ///   messages are delivered and which stay in transit — exactly the power
-///   the paper's lower-bound adversary has.
+///   the paper's lower-bound adversary has. Scripted removals leave their
+///   index entries behind; the timed scheduler discards them lazily (see
+///   the [`sched`] docs for the invalidation rules).
 ///
 /// See the crate-level docs for an end-to-end example.
 pub struct World<M> {
     slots: Vec<Slot<M>>,
     mset: BTreeMap<MsgId, Envelope<M>>,
+    /// The timed scheduler's index over `mset` (lazy invalidation).
+    ready: ReadyQueue,
     next_msg_id: u64,
     now: SimTime,
     rng: StdRng,
@@ -76,6 +94,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
         World {
             slots: Vec::new(),
             mset: BTreeMap::new(),
+            ready: ReadyQueue::new(),
             next_msg_id: 0,
             now: SimTime::ZERO,
             rng: StdRng::seed_from_u64(config.seed),
@@ -207,9 +226,10 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
     }
 
     /// Unblocks a directed link; messages parked on it become deliverable
-    /// again.
+    /// again (their index entries are re-queued).
     pub fn heal_link(&mut self, from: ProcessId, to: ProcessId) {
         self.blocked_links.remove(&(from, to));
+        self.ready.heal((from, to));
     }
 
     /// Partitions two groups of processes from each other in both
@@ -294,23 +314,16 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
     /// Fails if the id is unknown or the receiver has crashed (a crashed
     /// process takes no steps; the message would stay in transit).
     pub fn deliver(&mut self, id: MsgId) -> Result<(), DeliverError> {
-        let env = self
+        let to = self
             .mset
             .get(&id)
-            .cloned()
+            .map(|e| e.to)
             .ok_or(DeliverError::UnknownMessage(id))?;
-        if self.is_crashed(env.to) {
-            return Err(DeliverError::ReceiverCrashed(env.to));
+        if self.is_crashed(to) {
+            return Err(DeliverError::ReceiverCrashed(to));
         }
-        self.mset.remove(&id);
-        self.trace.record(TraceEntry::Deliver {
-            at: self.now,
-            id: env.id,
-            from: env.from,
-            to: env.to,
-        });
-        self.stats.record_delivery(env.to);
-        self.step_actor(env.to, env.from, env.msg);
+        let env = self.mset.remove(&id).expect("looked up above");
+        self.deliver_env(env);
         Ok(())
     }
 
@@ -398,12 +411,88 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
 
     // -------------------------------------------------------- timed running
 
+    /// Pops the next valid, unblocked index entry: stale entries (scripted
+    /// removals, drops) are discarded, entries on blocked links are parked
+    /// until [`World::heal_link`].
+    fn pop_next_unblocked(&mut self) -> Option<(MsgId, SimTime)> {
+        while let Some((ready_at, id)) = self.ready.pop() {
+            let Some(env) = self.mset.get(&id) else {
+                continue; // stale: already delivered or dropped
+            };
+            let link = (env.from, env.to);
+            if self.blocked_links.contains(&link) {
+                self.ready.park(link, (ready_at, id));
+                continue;
+            }
+            return Some((id, ready_at));
+        }
+        None
+    }
+
+    /// Earliest ready time among deliverable messages (unblocked *and*
+    /// addressed to a live receiver), without delivering or dropping
+    /// anything. Entries popped while peeking are re-queued.
+    fn next_ready_deliverable(&mut self) -> Option<SimTime> {
+        // Fast path: the heap top is usually live, so peek without the
+        // pop/re-push round trip (and its scratch Vec).
+        if let Some((ready_at, id)) = self.ready.peek() {
+            if let Some(env) = self.mset.get(&id) {
+                if !self.blocked_links.contains(&(env.from, env.to)) && !self.is_crashed(env.to) {
+                    return Some(ready_at);
+                }
+            }
+        }
+        let mut popped: Vec<(SimTime, MsgId)> = Vec::new();
+        let mut found = None;
+        while let Some((id, ready_at)) = self.pop_next_unblocked() {
+            popped.push((ready_at, id));
+            let to = self.mset.get(&id).expect("validated by pop").to;
+            if !self.is_crashed(to) {
+                found = Some(ready_at);
+                break;
+            }
+        }
+        for (ready_at, id) in popped {
+            self.ready.push(ready_at, id);
+        }
+        found
+    }
+
     /// Delivers the next message in virtual-time order, advancing the clock
     /// to its ready time. Messages to crashed receivers are dropped (they
     /// would never be consumed).
     ///
     /// Returns `false` if nothing was deliverable.
+    ///
+    /// This pops the [`sched::ReadyQueue`] index — O(log n) in the
+    /// in-transit pool size — rather than scanning `mset`.
     pub fn step_timed(&mut self) -> bool {
+        while let Some((id, ready_at)) = self.pop_next_unblocked() {
+            if ready_at > self.now {
+                self.now = ready_at;
+            }
+            let env = self.mset.remove(&id).expect("validated by pop");
+            if self.is_crashed(env.to) {
+                self.trace.record(TraceEntry::Drop {
+                    at: self.now,
+                    id,
+                    reason: DropReason::ReceiverCrashed,
+                });
+                self.stats.record_drop();
+                continue;
+            }
+            self.deliver_env(env);
+            return true;
+        }
+        false
+    }
+
+    /// Reference implementation of [`World::step_timed`] that rescans the
+    /// whole of `mset` per delivery (the pre-index behaviour). Kept for
+    /// the scheduler-equivalence property suite, which asserts both
+    /// produce byte-identical traces; not meant for production drivers.
+    #[doc(hidden)]
+    pub fn step_timed_reference(&mut self) -> bool {
         loop {
             let next = self
                 .mset
@@ -417,8 +506,8 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
             if ready_at > self.now {
                 self.now = ready_at;
             }
+            let env = self.mset.remove(&id).expect("selected from mset");
             if self.is_crashed(to) {
-                self.mset.remove(&id);
                 self.trace.record(TraceEntry::Drop {
                     at: self.now,
                     id,
@@ -427,7 +516,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
                 self.stats.record_drop();
                 continue;
             }
-            self.deliver(id).expect("selected from mset");
+            self.deliver_env(env);
             return true;
         }
     }
@@ -437,16 +526,18 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
     ///
     /// Returns the number of steps taken.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the budget is exhausted while messages remain deliverable —
-    /// that indicates a protocol that never quiesces, which is a bug in the
-    /// caller's setup rather than a legitimate outcome.
-    pub fn run_until_quiescent(&mut self) -> u64 {
+    /// Returns a [`QuiescenceError`] if the budget is exhausted while
+    /// messages remain deliverable — that indicates a protocol that never
+    /// quiesces, which is a bug in the caller's setup rather than a
+    /// legitimate outcome. Callers that treat it as such can use
+    /// [`World::run_until_quiescent_or_panic`].
+    pub fn run_until_quiescent(&mut self) -> Result<u64, QuiescenceError> {
         let mut steps = 0;
         while steps < self.config.max_steps {
             if !self.step_timed() {
-                return steps;
+                return Ok(steps);
             }
             steps += 1;
         }
@@ -455,13 +546,27 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
             .values()
             .any(|e| !self.is_crashed(e.to) && !self.blocked_links.contains(&(e.from, e.to)))
         {
-            panic!(
-                "simulation did not quiesce within {} steps ({} messages in transit)",
-                self.config.max_steps,
-                self.mset.len()
-            );
+            return Err(QuiescenceError {
+                steps,
+                in_transit: self.mset.len(),
+            });
         }
-        steps
+        Ok(steps)
+    }
+
+    /// [`World::run_until_quiescent`], panicking on budget exhaustion —
+    /// the convenient form for tests and for drivers whose protocols are
+    /// known to quiesce.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`QuiescenceError`] message if the step budget is
+    /// exhausted while messages remain deliverable.
+    pub fn run_until_quiescent_or_panic(&mut self) -> u64 {
+        match self.run_until_quiescent() {
+            Ok(steps) => steps,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Runs timed steps while the next deliverable message is ready at or
@@ -469,6 +574,24 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
     ///
     /// Returns the number of steps taken.
     pub fn run_until(&mut self, deadline: SimTime) -> u64 {
+        let mut steps = 0;
+        while steps < self.config.max_steps {
+            match self.next_ready_deliverable() {
+                Some(t) if t <= deadline => {
+                    self.step_timed();
+                    steps += 1;
+                }
+                _ => break,
+            }
+        }
+        self.advance_to(deadline);
+        steps
+    }
+
+    /// Reference implementation of [`World::run_until`] over the linear
+    /// scan (see [`World::step_timed_reference`]); property-test only.
+    #[doc(hidden)]
+    pub fn run_until_reference(&mut self, deadline: SimTime) -> u64 {
         let mut steps = 0;
         while steps < self.config.max_steps {
             let next_ready = self
@@ -479,7 +602,7 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
                 .min();
             match next_ready {
                 Some(t) if t <= deadline => {
-                    self.step_timed();
+                    self.step_timed_reference();
                     steps += 1;
                 }
                 _ => break,
@@ -551,8 +674,24 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
             payload: format!("{:?}", env.msg),
         });
         self.stats.record_send(from);
+        self.ready.push(env.ready_at, id);
         self.mset.insert(id, env);
         id
+    }
+
+    /// The single delivery path shared by the timed, random and scripted
+    /// styles: trace, stats, then the receiver's step. The envelope must
+    /// already be out of `mset` (any index entry left behind for it is
+    /// handled by lazy invalidation).
+    fn deliver_env(&mut self, env: Envelope<M>) {
+        self.trace.record(TraceEntry::Deliver {
+            at: self.now,
+            id: env.id,
+            from: env.from,
+            to: env.to,
+        });
+        self.stats.record_delivery(env.to);
+        self.step_actor(env.to, env.from, env.msg);
     }
 
     fn step_actor(&mut self, p: ProcessId, from: ProcessId, msg: M) {
@@ -645,7 +784,7 @@ mod tests {
     fn inject_and_quiesce() {
         let (mut w, ids) = world_of(4);
         w.inject(ids[0], Msg::ReplyAll);
-        let steps = w.run_until_quiescent();
+        let steps = w.run_until_quiescent_or_panic();
         // 3 hellos + 3 acks delivered.
         assert_eq!(steps, 6);
         assert_eq!(w.with_actor::<Node, _, _>(ids[0], |n| n.acks).unwrap(), 3);
@@ -672,6 +811,21 @@ mod tests {
     }
 
     #[test]
+    fn timed_steps_skip_entries_invalidated_by_scripted_delivery() {
+        // Scripted delivery leaves stale index entries behind; the timed
+        // scheduler must discard them and still deliver everything else.
+        let (mut w, ids) = world_of(3);
+        w.inject(ids[0], Msg::ReplyAll);
+        let to2 = w.pending_ids_matching(|e| e.to == ids[2]);
+        w.deliver(to2[0]).unwrap();
+        let steps = w.run_until_quiescent_or_panic();
+        // hello->p1, ack(p2)->p0, ack(p1)->p0.
+        assert_eq!(steps, 3);
+        assert_eq!(w.pending_len(), 0);
+        assert_eq!(w.stats().delivered, 4);
+    }
+
+    #[test]
     fn deliver_unknown_id_fails() {
         let (mut w, _) = world_of(2);
         assert_eq!(
@@ -685,7 +839,7 @@ mod tests {
         let (mut w, ids) = world_of(3);
         w.inject(ids[0], Msg::ReplyAll);
         w.crash(ids[1]);
-        let steps = w.run_until_quiescent();
+        let steps = w.run_until_quiescent_or_panic();
         // hello->p2, ack->p0 delivered; hello->p1 dropped.
         assert_eq!(steps, 2);
         assert_eq!(w.with_actor::<Node, _, _>(ids[1], |n| n.hellos).unwrap(), 0);
@@ -786,7 +940,7 @@ mod tests {
         w.step_timed();
         assert_eq!(w.now(), SimTime::from_ticks(10));
         // Ack goes back with another 10 ticks of delay.
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         assert_eq!(w.now(), SimTime::from_ticks(20));
     }
 
@@ -807,6 +961,33 @@ mod tests {
     }
 
     #[test]
+    fn run_until_peek_does_not_lose_or_drop_messages() {
+        // The deadline peek pops index entries to find the next
+        // deliverable message; everything popped must be re-queued, and
+        // messages to crashed receivers must be neither delivered nor
+        // dropped by the peek itself.
+        let mut w: World<Msg> = World::new(SimConfig {
+            delay: DelayModel::Constant(10),
+            ..SimConfig::default()
+        });
+        let a = w.add_actor(Box::new(Node::new(3)));
+        let b = w.add_actor(Box::new(Node::new(3)));
+        let c = w.add_actor(Box::new(Node::new(3)));
+        w.send_from_external(a, b, Msg::Hello); // ready at 10
+        w.crash(b);
+        w.advance_to(SimTime::from_ticks(15));
+        w.send_from_external(a, c, Msg::Hello); // ready at 25
+        assert_eq!(w.run_until(SimTime::from_ticks(20)), 0);
+        assert_eq!(w.stats().dropped, 0, "peek must not drop");
+        assert_eq!(w.pending_len(), 2, "peek must not lose messages");
+        // Past the deadline, the crashed receiver's message is dropped on
+        // the way to the live one.
+        assert_eq!(w.run_until(SimTime::from_ticks(30)), 1);
+        assert_eq!(w.stats().dropped, 1);
+        assert_eq!(w.with_actor::<Node, _, _>(c, |n| n.hellos).unwrap(), 1);
+    }
+
+    #[test]
     fn same_seed_same_trace() {
         let run = |seed: u64| {
             let mut w: World<Msg> = World::new(SimConfig {
@@ -818,7 +999,7 @@ mod tests {
                 .map(|_| w.add_actor(Box::new(Node::new(4))))
                 .collect();
             w.inject(ids[0], Msg::ReplyAll);
-            w.run_until_quiescent();
+            w.run_until_quiescent_or_panic();
             w.trace().render()
         };
         assert_eq!(run(7), run(7));
@@ -861,7 +1042,7 @@ mod tests {
         let (mut w, ids) = world_of(3);
         w.block_link(ids[0], ids[1]);
         w.inject(ids[0], Msg::ReplyAll);
-        let steps = w.run_until_quiescent();
+        let steps = w.run_until_quiescent_or_panic();
         // Only the hello to ids[2] and its ack flow; the hello to ids[1]
         // stays in transit (not dropped).
         assert_eq!(steps, 2);
@@ -871,7 +1052,7 @@ mod tests {
 
         // Healing releases the parked message.
         w.heal_link(ids[0], ids[1]);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         assert_eq!(w.with_actor::<Node, _, _>(ids[1], |n| n.hellos).unwrap(), 1);
         assert_eq!(w.pending_len(), 0);
     }
@@ -890,32 +1071,50 @@ mod tests {
     }
 
     #[test]
+    fn heal_after_scripted_delivery_discards_the_stale_parked_entry() {
+        // Force-deliver across a blocked link (the index entry is
+        // parked), then heal: the re-queued entry is stale and must be
+        // skipped without a double delivery.
+        let (mut w, ids) = world_of(2);
+        w.block_link(ids[0], ids[1]);
+        w.send_from_external(ids[0], ids[1], Msg::Hello);
+        assert!(!w.step_timed()); // parks the entry
+        let held = w.pending_ids_matching(|e| e.to == ids[1]);
+        w.deliver(held[0]).unwrap();
+        w.heal_link(ids[0], ids[1]);
+        // Only the ack from ids[1] remains deliverable.
+        assert!(w.step_timed());
+        assert!(!w.step_timed());
+        assert_eq!(w.stats().delivered, 2);
+        assert_eq!(w.with_actor::<Node, _, _>(ids[1], |n| n.hellos).unwrap(), 1);
+    }
+
+    #[test]
     fn partition_and_heal_groups() {
         let (mut w, ids) = world_of(4);
         w.partition(&[ids[0], ids[1]], &[ids[2], ids[3]]);
         w.inject(ids[0], Msg::ReplyAll);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         // Hellos reached only the same-side peer.
         assert_eq!(w.with_actor::<Node, _, _>(ids[1], |n| n.hellos).unwrap(), 1);
         assert_eq!(w.with_actor::<Node, _, _>(ids[2], |n| n.hellos).unwrap(), 0);
         assert_eq!(w.with_actor::<Node, _, _>(ids[3], |n| n.hellos).unwrap(), 0);
         w.heal_partition(&[ids[0], ids[1]], &[ids[2], ids[3]]);
-        w.run_until_quiescent();
+        w.run_until_quiescent_or_panic();
         assert_eq!(w.with_actor::<Node, _, _>(ids[2], |n| n.hellos).unwrap(), 1);
         assert_eq!(w.with_actor::<Node, _, _>(ids[3], |n| n.hellos).unwrap(), 1);
     }
 
-    #[test]
-    #[should_panic(expected = "did not quiesce")]
-    fn livelock_hits_step_budget() {
-        /// Two actors that ping-pong forever.
-        struct Forever;
-        impl Automaton for Forever {
-            type Msg = Msg;
-            fn on_message(&mut self, from: ProcessId, _m: Msg, out: &mut Outbox<Msg>) {
-                out.send(from, Msg::Hello);
-            }
+    /// Two actors that ping-pong forever.
+    struct Forever;
+    impl Automaton for Forever {
+        type Msg = Msg;
+        fn on_message(&mut self, from: ProcessId, _m: Msg, out: &mut Outbox<Msg>) {
+            out.send(from, Msg::Hello);
         }
+    }
+
+    fn livelocked_world() -> World<Msg> {
         let mut w: World<Msg> = World::new(SimConfig {
             max_steps: 100,
             ..SimConfig::default()
@@ -923,6 +1122,21 @@ mod tests {
         let a = w.add_actor(Box::new(Forever));
         let b = w.add_actor(Box::new(Forever));
         w.send_from_external(a, b, Msg::Hello);
-        w.run_until_quiescent();
+        w
+    }
+
+    #[test]
+    fn livelock_returns_typed_quiescence_error() {
+        let mut w = livelocked_world();
+        let err = w.run_until_quiescent().unwrap_err();
+        assert_eq!(err.steps, 100);
+        assert_eq!(err.in_transit, 1); // the ping-pong ball
+        assert!(err.to_string().contains("did not quiesce"));
+    }
+
+    #[test]
+    #[should_panic(expected = "did not quiesce")]
+    fn livelock_hits_step_budget() {
+        livelocked_world().run_until_quiescent_or_panic();
     }
 }

@@ -7,9 +7,11 @@
 //! most one operation outstanding (the paper's well-formedness
 //! assumption), issues the next one after an optional think time, and
 //! the simulated network delivers messages according to the cluster's
-//! delay model. Client idleness is inferred from the recorded history,
+//! delay model. Client idleness comes from the incremental
+//! [`RegisterOps::client_busy`] query (backed by O(1) history counters),
 //! which keeps the driver independent of the per-protocol automaton
-//! types.
+//! types *and* keeps per-op cost flat: no [`RegisterOps::snapshot`]
+//! clone, no rescan of the recorded operations, however long the run.
 
 use std::collections::HashMap;
 
@@ -79,39 +81,39 @@ pub fn run_closed_loop(cluster: &mut dyn RegisterOps, spec: &WorkloadSpec) -> Wo
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0c10_ced1);
     let layout = cluster.layout();
     let writer = layout.writer(0);
-    let readers: Vec<_> = (0..cluster.cfg().r).collect();
+    let n_readers = cluster.cfg().r;
     let mut next_value = 1u64;
     let mut issued = 0u64;
     // Earliest time each client may issue again (think time gate).
     let mut ready_at: HashMap<u32, u64> = HashMap::new();
+    // A client is idle when it has no outstanding op (an O(1) query on
+    // the history's counters — no snapshot, no per-op rescan) and its
+    // think-time gate has passed.
+    fn is_idle(
+        cluster: &dyn RegisterOps,
+        ready_at: &HashMap<u32, u64>,
+        proc: u32,
+        now: u64,
+    ) -> bool {
+        !cluster.client_busy(proc) && ready_at.get(&proc).copied().unwrap_or(0) <= now
+    }
 
     while issued < spec.n_ops {
         let now = cluster.now_ticks();
-        // Find idle clients from the history: last op per proc complete?
-        let snapshot = cluster.snapshot();
-        let mut busy: HashMap<u32, bool> = HashMap::new();
-        for op in snapshot.ops() {
-            busy.insert(op.proc, !op.is_complete());
-        }
-        let is_idle = |proc: u32, busy: &HashMap<u32, bool>, ready_at: &HashMap<u32, u64>| {
-            !busy.get(&proc).copied().unwrap_or(false)
-                && ready_at.get(&proc).copied().unwrap_or(0) <= now
-        };
-
         let mut progressed = false;
         // Writer.
         if rng.gen_bool(spec.write_fraction.clamp(0.0, 1.0))
-            && is_idle(writer.index(), &busy, &ready_at)
+            && is_idle(cluster, &ready_at, writer.index(), now)
         {
             cluster.write(next_value);
             next_value += 1;
             issued += 1;
             ready_at.insert(writer.index(), now + spec.think_time);
             progressed = true;
-        } else if !readers.is_empty() {
-            let pick = readers[rng.gen_range(0..readers.len())];
+        } else if n_readers > 0 {
+            let pick = rng.gen_range(0..n_readers);
             let addr = layout.reader(pick).index();
-            if is_idle(addr, &busy, &ready_at) {
+            if is_idle(cluster, &ready_at, addr, now) {
                 cluster.read_async(pick);
                 issued += 1;
                 ready_at.insert(addr, now + spec.think_time);
@@ -121,9 +123,18 @@ pub fn run_closed_loop(cluster: &mut dyn RegisterOps, spec: &WorkloadSpec) -> Wo
         if !progressed {
             // Nothing issuable: advance the network a bit.
             if !cluster.step_timed() {
-                // Nothing in transit either: jump past think times.
-                let next_ready = ready_at.values().copied().min().unwrap_or(now + 1);
-                cluster.advance_to_ticks(next_ready.max(now + 1));
+                // Nothing in transit either: jump past think times. Only
+                // *future* ready times count — gates already in the past
+                // belong to clients the schedule simply didn't pick, and
+                // jumping to their minimum would crawl one tick per
+                // iteration instead of leaping to the next real wake-up.
+                let next_ready = ready_at
+                    .values()
+                    .copied()
+                    .filter(|&t| t > now)
+                    .min()
+                    .unwrap_or(now + 1);
+                cluster.advance_to_ticks(next_ready);
             }
         }
     }
@@ -143,8 +154,101 @@ mod tests {
     use super::*;
     use fastreg::config::ClusterConfig;
     use fastreg::harness::{Cluster, ClusterBuilder, FastCrash};
+    use fastreg::layout::Layout;
     use fastreg::protocols::registry::ProtocolId;
+    use fastreg::types::{RegValue, Value};
     use fastreg_atomicity::swmr::check_swmr_atomicity;
+
+    /// Delegating wrapper that counts scheduler interactions, so tests
+    /// can observe driver *efficiency* (not just its output).
+    struct Counting<'a> {
+        inner: &'a mut dyn RegisterOps,
+        advances: u64,
+        steps: u64,
+        snapshots: std::cell::Cell<u64>,
+    }
+
+    impl<'a> Counting<'a> {
+        fn new(inner: &'a mut dyn RegisterOps) -> Self {
+            Counting {
+                inner,
+                advances: 0,
+                steps: 0,
+                snapshots: std::cell::Cell::new(0),
+            }
+        }
+    }
+
+    impl RegisterOps for Counting<'_> {
+        fn cfg(&self) -> ClusterConfig {
+            self.inner.cfg()
+        }
+        fn layout(&self) -> Layout {
+            self.inner.layout()
+        }
+        fn write_by(&mut self, wid: u32, value: Value) {
+            self.inner.write_by(wid, value);
+        }
+        fn read_async(&mut self, index: u32) {
+            self.inner.read_async(index);
+        }
+        fn settle(&mut self) {
+            self.inner.settle();
+        }
+        fn try_settle(&mut self) -> Result<u64, fastreg_simnet::world::QuiescenceError> {
+            self.inner.try_settle()
+        }
+        fn read(&mut self, index: u32) -> RegValue {
+            self.inner.read(index)
+        }
+        fn snapshot(&self) -> History {
+            self.snapshots.set(self.snapshots.get() + 1);
+            self.inner.snapshot()
+        }
+        fn ops_recorded(&self) -> u64 {
+            self.inner.ops_recorded()
+        }
+        fn ops_completed(&self) -> u64 {
+            self.inner.ops_completed()
+        }
+        fn client_busy(&self, proc: u32) -> bool {
+            self.inner.client_busy(proc)
+        }
+        fn check_atomic(&self) -> Result<(), fastreg_atomicity::swmr::AtomicityViolation> {
+            self.inner.check_atomic()
+        }
+        fn check_linearizable(
+            &self,
+        ) -> Result<bool, fastreg_atomicity::linearizability::LinCheckError> {
+            self.inner.check_linearizable()
+        }
+        fn check_regular(&self) -> Result<(), fastreg_atomicity::regularity::RegularityViolation> {
+            self.inner.check_regular()
+        }
+        fn now_ticks(&self) -> u64 {
+            self.inner.now_ticks()
+        }
+        fn advance_to_ticks(&mut self, ticks: u64) {
+            self.advances += 1;
+            self.inner.advance_to_ticks(ticks);
+        }
+        fn step_timed(&mut self) -> bool {
+            self.steps += 1;
+            self.inner.step_timed()
+        }
+        fn run_random_until_quiescent(&mut self) -> u64 {
+            self.inner.run_random_until_quiescent()
+        }
+        fn messages_sent(&self) -> u64 {
+            self.inner.messages_sent()
+        }
+        fn crash_server(&mut self, index: u32) {
+            self.inner.crash_server(index);
+        }
+        fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize) {
+            self.inner.arm_writer_crash_after_sends(wid, sends);
+        }
+    }
 
     #[test]
     fn closed_loop_completes_all_ops() {
@@ -207,6 +311,69 @@ mod tests {
         );
         assert!(report.breakdown.writes.is_none());
         assert_eq!(report.breakdown.reads.unwrap().count, 20);
+    }
+
+    #[test]
+    fn driver_never_snapshots_inside_the_issue_loop() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(3)
+            .build(ProtocolId::FastCrash)
+            .unwrap();
+        let mut counted = Counting::new(&mut c);
+        let report = run_closed_loop(
+            &mut counted,
+            &WorkloadSpec {
+                n_ops: 200,
+                think_time: 3,
+                ..WorkloadSpec::default()
+            },
+        );
+        assert_eq!(report.breakdown.completed, 200);
+        assert_eq!(
+            counted.snapshots.get(),
+            1,
+            "exactly one snapshot — the final report — regardless of n_ops"
+        );
+    }
+
+    #[test]
+    fn think_time_gaps_jump_instead_of_crawling() {
+        // Regression: with think_time > 1, the no-progress jump target
+        // used to be min over *all* recorded ready times. A gate already
+        // in the past (a client the schedule didn't pick) dragged the
+        // target down to `now + 1`, so the driver crawled one tick per
+        // iteration across every think-time gap. The fix jumps to the
+        // minimum *future* ready time; the op schedule completes in a
+        // bounded number of scheduler interactions.
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let spec = WorkloadSpec {
+            n_ops: 40,
+            write_fraction: 0.5,
+            think_time: 50,
+            seed: 7,
+        };
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(2)
+            .build(ProtocolId::FastCrash)
+            .unwrap();
+        let mut counted = Counting::new(&mut c);
+        let report = run_closed_loop(&mut counted, &spec);
+        assert_eq!(report.breakdown.completed, 40);
+        assert_eq!(report.breakdown.incomplete, 0);
+        check_swmr_atomicity(&report.history).unwrap();
+        // Every 50-tick gap is one jump, not 50 one-tick crawls: clock
+        // advances stay below one per op (the pre-fix driver needs on
+        // the order of n_ops * think_time of them). `counted.steps` is
+        // deliberately not bounded here — it scales with messages, not
+        // with stalling.
+        assert!(
+            counted.advances < spec.n_ops,
+            "driver crawled: {} clock advances for {} ops of think time {}",
+            counted.advances,
+            spec.n_ops,
+            spec.think_time
+        );
     }
 
     #[test]

@@ -27,8 +27,8 @@ use crate::driver::{run_closed_loop, WorkloadSpec};
 use crate::table::Table;
 
 /// The experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 13] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13",
+pub const EXPERIMENT_IDS: [&str; 14] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
 ];
 
 /// The protocols experiment `id` exercises — the ground truth for the
@@ -45,6 +45,15 @@ pub fn experiment_protocols(id: &str) -> &'static [ProtocolId] {
         "e8" => &[ProtocolId::FastCrash, ProtocolId::FastByz],
         "e9" => &[ProtocolId::FastCrash, ProtocolId::Abd],
         "e11" => &[ProtocolId::SwsrFast],
+        // E14 sweeps every sound protocol feasible at (S,t,R) = (5,1,2).
+        "e14" => &[
+            ProtocolId::FastCrash,
+            ProtocolId::FastByz,
+            ProtocolId::Abd,
+            ProtocolId::MaxMin,
+            ProtocolId::FastRegular,
+            ProtocolId::MwmrAbd,
+        ],
         _ => &[],
     }
 }
@@ -782,6 +791,77 @@ pub fn e13_seen_ablation() -> Table {
     table
 }
 
+/// E14 — scale: closed-loop throughput across the registry under the
+/// event-queue scheduler and the incremental driver.
+///
+/// For every *sound* protocol feasible at `(S, t, R) = (5, 1, 2)`, runs a
+/// closed loop at each requested size and records wall time. Per-op wall
+/// cost staying flat as `n_ops` grows 100× is the end-to-end evidence
+/// that neither the scheduler (`step_timed`) nor the driver
+/// (`run_closed_loop`) rescans its state per operation. Histories at the
+/// smallest size are checked against the protocol's declared contract.
+pub fn e14_scale(sizes: &[u64]) -> Table {
+    use fastreg::protocols::registry::{Contract, Registry};
+    use std::time::Instant;
+
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let check_at = sizes.iter().copied().min().unwrap_or(0);
+    let mut table = Table::new(vec![
+        "protocol",
+        "n_ops",
+        "completed",
+        "wall ms",
+        "ops/ms",
+        "msgs/op",
+        "ticks",
+    ]);
+    for entry in Registry::all() {
+        let id = entry.id;
+        if !id.feasible(&cfg) || id.contract() == Contract::Unsound {
+            continue;
+        }
+        for &n_ops in sizes {
+            let spec = WorkloadSpec {
+                n_ops,
+                write_fraction: 0.2,
+                think_time: 1,
+                seed: 14,
+            };
+            let mut c = ClusterBuilder::new(cfg)
+                .seed(14)
+                .build(id)
+                .expect("checked feasible above");
+            let start = Instant::now();
+            let rep = run_closed_loop(&mut c, &spec);
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                rep.breakdown.completed, n_ops,
+                "E14: {id} must complete every op at n = {n_ops}"
+            );
+            assert_eq!(rep.breakdown.incomplete, 0);
+            if n_ops == check_at {
+                match id.contract() {
+                    Contract::Atomic => check_swmr_atomicity(&rep.history)
+                        .unwrap_or_else(|v| panic!("E14: {id} not atomic: {v}")),
+                    Contract::Regular => check_swmr_regularity(&rep.history)
+                        .unwrap_or_else(|v| panic!("E14: {id} not regular: {v}")),
+                    Contract::Unsound => unreachable!("filtered above"),
+                }
+            }
+            table.row(vec![
+                id.name().into(),
+                n_ops.to_string(),
+                rep.breakdown.completed.to_string(),
+                format!("{wall_ms:.1}"),
+                format!("{:.0}", n_ops as f64 / wall_ms.max(0.001)),
+                format!("{:.1}", rep.messages_per_op()),
+                rep.duration_ticks.to_string(),
+            ]);
+        }
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -834,5 +914,16 @@ mod tests {
         let s = e10_predicate().render();
         assert!(s.contains("witness level"));
         assert!(s.contains("300/300"));
+    }
+
+    #[test]
+    fn e14_sweeps_every_sound_feasible_protocol() {
+        let t = e14_scale(&[200]);
+        // Six sound protocols are feasible at (5, 1, 2), one row each.
+        assert_eq!(t.len(), 6);
+        let s = t.render();
+        for id in experiment_protocols("e14") {
+            assert!(s.contains(id.name()), "e14 must sweep {}", id.name());
+        }
     }
 }

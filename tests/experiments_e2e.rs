@@ -79,3 +79,22 @@ fn e10_predicate_internals() {
     let s = exp::e10_predicate().render();
     assert!(s.contains("witness level"));
 }
+
+#[test]
+fn e14_scale_sweep_completes_across_the_registry() {
+    // A reduced sweep (the report binary runs the full 1k/10k/100k one);
+    // every sound protocol feasible at (5,1,2) must appear and complete.
+    let t = exp::e14_scale(&[300, 600]);
+    assert_eq!(t.len(), 12); // 6 protocols × 2 sizes
+    let s = t.render();
+    for name in [
+        "fast-crash",
+        "fast-byz",
+        "abd",
+        "max-min",
+        "fast-regular",
+        "mwmr-abd",
+    ] {
+        assert!(s.contains(name), "e14 must sweep {name}");
+    }
+}
