@@ -1,0 +1,314 @@
+//! The parallel schedule-exploration engine.
+//!
+//! [`explore`] fans a deterministic grid of [`Cell`]s — every
+//! combination of grid point (protocol × configuration), fault
+//! distribution and replicate seed — across an order-preserving worker
+//! pool ([`map_ordered`]), runs each cell as an independent simulated
+//! world, and classifies every verdict against the cell's expectation:
+//!
+//! * a violation in a **sound, feasible** cell is a protocol bug — the
+//!   engine reports it as `unexpected` and callers should fail loudly;
+//! * a violation in a cell **beyond the bound** (or on a known-unsound
+//!   protocol) is the prize: it is shrunk ([`shrink`]) and packaged as a
+//!   replayable [`Counterexample`].
+//!
+//! Determinism is load-bearing: cell seeds derive from `(base_seed,
+//! cell index)` only, results are collected in cell order, and shrinking
+//! is a pure function of the violating cell — so the same `cells +
+//! base_seed + ops` produce identical verdicts and identical
+//! counterexample bytes at any thread count.
+
+use fastreg::config::ClusterConfig;
+use fastreg::protocols::registry::ProtocolId;
+use fastreg_simnet::threaded::map_ordered;
+
+use super::cell::{splitmix64, Cell, CellExpectation, CellOutcome, FaultDistribution};
+use super::counterexample::Counterexample;
+use super::shrink::{shrink, ShrinkStats};
+
+/// One protocol × configuration point of the exploration grid.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPoint {
+    /// The protocol to deploy.
+    pub protocol: ProtocolId,
+    /// The configuration to deploy it on (possibly beyond its bound).
+    pub cfg: ClusterConfig,
+}
+
+/// The default exploration grid: every registered protocol on its
+/// canonical feasible configuration, plus the two seeded hunting grounds
+/// — the Fig. 2 protocol *past* the fast bound (`R = S/t − 2`, the §5
+/// regime) and the unsound one-round MWMR candidate (§7).
+pub fn default_grid() -> Vec<GridPoint> {
+    let mut grid: Vec<GridPoint> = ProtocolId::ALL
+        .into_iter()
+        .map(|protocol| GridPoint {
+            protocol,
+            cfg: protocol.sample_config(),
+        })
+        .collect();
+    grid.push(GridPoint {
+        protocol: ProtocolId::FastCrash,
+        cfg: ClusterConfig::crash_stop(5, 1, 3).expect("statically valid"),
+    });
+    grid
+}
+
+/// Parameters of one exploration run.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// Number of cells to run (the grid is cycled and re-seeded).
+    pub cells: u32,
+    /// Worker threads (results are thread-count independent).
+    pub threads: usize,
+    /// Op budget per cell.
+    pub ops: u32,
+    /// Base seed; each cell's seed is derived from this and its index.
+    pub base_seed: u64,
+    /// The grid (defaults to [`default_grid`]).
+    pub grid: Vec<GridPoint>,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            cells: 64,
+            threads: 1,
+            ops: 8,
+            base_seed: 0,
+            grid: default_grid(),
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// The deterministic cell list this configuration expands to.
+    ///
+    /// Cell `i` takes grid point `i % grid.len()`, fault distribution
+    /// `(i / grid.len()) % 4`, and seed `splitmix64(base_seed ⊕ i)`:
+    /// every (point, distribution) pair is covered before any is
+    /// repeated with a fresh replicate seed.
+    pub fn cell_list(&self) -> Vec<Cell> {
+        (0..self.cells as usize)
+            .map(|i| {
+                let point = self.grid[i % self.grid.len()];
+                let dist =
+                    FaultDistribution::ALL[(i / self.grid.len()) % FaultDistribution::ALL.len()];
+                Cell {
+                    protocol: point.protocol,
+                    cfg: point.cfg,
+                    seed: splitmix64(self.base_seed ^ (i as u64)),
+                    ops: self.ops,
+                    dist,
+                }
+            })
+            .collect()
+    }
+}
+
+/// One explored cell with its outcome.
+#[derive(Clone, Debug)]
+pub struct ExploredCell {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// What it produced.
+    pub outcome: CellOutcome,
+}
+
+/// A found violation, shrunk and packaged.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Index of the originating cell in the run's cell list.
+    pub cell_index: usize,
+    /// Whether the violation was expected (hunting cell) or a bug.
+    pub expectation: CellExpectation,
+    /// The shrunk, replayable counterexample.
+    pub counterexample: Counterexample,
+    /// Shrink bookkeeping.
+    pub shrink: ShrinkStats,
+}
+
+/// The result of one exploration run.
+#[derive(Clone, Debug)]
+pub struct ExploreReport {
+    /// Every cell, in deterministic cell order.
+    pub cells: Vec<ExploredCell>,
+    /// Every violation, shrunk, in cell order.
+    pub findings: Vec<Finding>,
+}
+
+impl ExploreReport {
+    /// Cells that ran clean.
+    pub fn clean_count(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.outcome.verdict.is_clean())
+            .count()
+    }
+
+    /// Findings from cells that were expected to stay clean — protocol
+    /// bugs. An empty result here is the fuzz lane's green condition.
+    pub fn unexpected(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.expectation == CellExpectation::Clean)
+    }
+
+    /// Findings from hunting cells (beyond the bound / unsound) — the
+    /// corpus material.
+    pub fn expected(&self) -> impl Iterator<Item = &Finding> {
+        self.findings
+            .iter()
+            .filter(|f| f.expectation == CellExpectation::MayViolate)
+    }
+}
+
+/// Runs the exploration described by `config`.
+///
+/// Cells run on `config.threads` workers; each violating cell is then
+/// shrunk (also on the pool — shrinking is per-cell pure). The report is
+/// identical for any thread count.
+pub fn explore(config: &ExploreConfig) -> ExploreReport {
+    let cells = config.cell_list();
+    let outcomes: Vec<CellOutcome> =
+        map_ordered(cells.clone(), config.threads, |_, cell| cell.run());
+
+    // Shrink the proven violations — independent work, same ordered
+    // pool. `CheckerLimit` outcomes (the oracle gave up on an oversized
+    // history) are neither clean nor findings: there is nothing proven
+    // to shrink, and classifying them as bugs would fail sound feasible
+    // cells for running a large `--budget`.
+    let violating: Vec<(usize, Cell, CellOutcome)> = cells
+        .iter()
+        .zip(&outcomes)
+        .enumerate()
+        .filter(|(_, (_, out))| out.verdict.is_proven_violation())
+        .map(|(i, (cell, out))| (i, *cell, out.clone()))
+        .collect();
+    let findings: Vec<Finding> = map_ordered(
+        violating,
+        config.threads,
+        |_, (cell_index, cell, outcome)| {
+            let faults = cell.generate_faults();
+            let (counterexample, stats) = shrink(&cell, &faults, &outcome);
+            Finding {
+                cell_index,
+                expectation: cell.expectation(),
+                counterexample,
+                shrink: stats,
+            }
+        },
+    );
+
+    ExploreReport {
+        cells: cells
+            .into_iter()
+            .zip(outcomes)
+            .map(|(cell, outcome)| ExploredCell { cell, outcome })
+            .collect(),
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config(threads: usize) -> ExploreConfig {
+        ExploreConfig {
+            cells: 144,
+            threads,
+            ops: 6,
+            base_seed: 0xe15,
+            grid: default_grid(),
+        }
+    }
+
+    #[test]
+    fn exploration_is_thread_count_independent() {
+        let one = explore(&small_config(1));
+        let four = explore(&small_config(4));
+        assert_eq!(one.cells.len(), four.cells.len());
+        for (a, b) in one.cells.iter().zip(&four.cells) {
+            assert_eq!(a.outcome.verdict, b.outcome.verdict);
+            assert_eq!(a.outcome.fingerprint, b.outcome.fingerprint);
+        }
+        assert_eq!(one.findings.len(), four.findings.len());
+        for (a, b) in one.findings.iter().zip(&four.findings) {
+            assert_eq!(a.cell_index, b.cell_index);
+            assert_eq!(
+                a.counterexample.render(),
+                b.counterexample.render(),
+                "counterexample bytes must not depend on the thread count"
+            );
+        }
+    }
+
+    #[test]
+    fn checker_limit_is_not_classified_as_a_protocol_bug() {
+        use fastreg::config::ClusterConfig;
+        use fastreg_atomicity::verdict::{Verdict, ViolationKind};
+        // A large op budget on the sound feasible MWMR baseline pushes
+        // the history past the linearizability oracle's cap: the verdict
+        // is checker-limit, which must be neither an "unexpected"
+        // protocol bug nor shrunk into a bogus counterexample.
+        let config = ExploreConfig {
+            cells: 2,
+            threads: 1,
+            ops: 200,
+            base_seed: 1,
+            grid: vec![GridPoint {
+                protocol: ProtocolId::MwmrAbd,
+                cfg: ClusterConfig::mwmr(3, 1, 2, 2).unwrap(),
+            }],
+        };
+        let report = explore(&config);
+        assert!(
+            report
+                .cells
+                .iter()
+                .any(|c| c.outcome.verdict == Verdict::Violation(ViolationKind::CheckerLimit)),
+            "the oversized budget must actually trip the oracle cap"
+        );
+        assert_eq!(report.unexpected().count(), 0);
+        assert_eq!(report.findings.len(), 0);
+    }
+
+    #[test]
+    fn default_grid_covers_every_protocol_and_the_hunting_ground() {
+        let grid = default_grid();
+        for id in ProtocolId::ALL {
+            assert!(grid.iter().any(|g| g.protocol == id), "{id} missing");
+        }
+        assert!(
+            grid.iter()
+                .any(|g| g.protocol == ProtocolId::FastCrash && !g.cfg.fast_feasible()),
+            "the past-the-bound fast-crash point must be in the default grid"
+        );
+    }
+
+    #[test]
+    fn sound_feasible_cells_stay_clean_and_hunting_cells_violate() {
+        let report = explore(&small_config(2));
+        assert_eq!(
+            report.unexpected().count(),
+            0,
+            "sound feasible protocols must survive exploration"
+        );
+        assert!(
+            report.expected().count() > 0,
+            "the hunting grounds must yield at least one counterexample \
+             (cells: {}, clean: {})",
+            report.cells.len(),
+            report.clean_count()
+        );
+        // Every packaged counterexample replays.
+        for f in &report.findings {
+            assert!(
+                f.counterexample.replay().reproduces(&f.counterexample),
+                "finding at cell {} does not replay",
+                f.cell_index
+            );
+        }
+    }
+}

@@ -1,7 +1,8 @@
-//! Bounded-exhaustive schedule exploration.
+//! Bounded-exhaustive schedule exploration (the `∀`-schedules direction).
 //!
-//! The randomized search ([`crate::search`]) samples interleavings; this
-//! module *enumerates* them. For a small cluster and a fixed set of
+//! The randomized engine ([`crate::explore::engine`]) samples cells of a
+//! seed × protocol × fault-distribution grid; this module *enumerates*
+//! interleavings instead. For a small cluster and a fixed set of
 //! concurrently invoked operations, it walks the tree of all delivery
 //! orders (each tree node = choice of which in-transit message is
 //! delivered next, each delivery at a fresh tick so precedence is sharp)

@@ -24,6 +24,13 @@
 //! set up (the block partition does not exist) and [`search`]'s randomized
 //! adversarial schedules find no violation — together the two directions
 //! trace the paper's exact feasibility frontier (experiment E8).
+//!
+//! The scripted constructions and the randomized search are both built on
+//! [`mod@explore`], the schedule-exploration subsystem: a parallel,
+//! deterministic engine that hunts violations across a protocol ×
+//! configuration × fault-distribution grid, shrinks what it finds, and
+//! serializes each violation as a replayable counterexample file (the
+//! committed `corpus/` regression suite).
 
 #![warn(missing_docs)]
 
@@ -39,7 +46,11 @@ pub use ablation::{refute_count_predicate, AblationOutcome};
 pub use blocks::{byz_blocks, crash_blocks, BlockPlan, ByzBlockPlan};
 pub use byz_lb::{run_byz_lb, ByzLbOutcome};
 pub use crash_lb::{run_crash_lb, CrashLbOutcome};
-pub use explore::{explore_fast_crash, ExploreOutcome, OpScript};
+pub use explore::{
+    default_grid, explore, explore_fast_crash, Cell, CellExpectation, CellOutcome, Counterexample,
+    ExploreConfig, ExploreOutcome, ExploreReport, FaultDistribution, Finding, GridPoint, OpScript,
+    ReplayOutcome,
+};
 pub use mwmr_lb::{run_mwmr_lb, MwmrLbOutcome};
 pub use search::{random_adversarial_search, SearchOutcome};
 
@@ -60,6 +71,15 @@ pub enum LbError {
     /// The block partition could not be formed (e.g. `S < R + 2`: fewer
     /// servers than blocks).
     NoPartition,
+    /// A construction phase exhausted its step budget before the world
+    /// quiesced — the protocol under test livelocked, which the scripted
+    /// constructions surface as a verdict instead of panicking.
+    DidNotQuiesce {
+        /// Steps taken before giving up.
+        steps: u64,
+        /// Messages still in transit.
+        in_transit: usize,
+    },
 }
 
 impl std::fmt::Display for LbError {
@@ -75,6 +95,10 @@ impl std::fmt::Display for LbError {
             LbError::NeedFaults => write!(f, "the construction needs t >= 1"),
             LbError::NeedByzantine => write!(f, "the Byzantine construction needs b >= 1"),
             LbError::NoPartition => write!(f, "no valid block partition exists"),
+            LbError::DidNotQuiesce { steps, in_transit } => write!(
+                f,
+                "construction did not quiesce after {steps} steps ({in_transit} in transit)"
+            ),
         }
     }
 }

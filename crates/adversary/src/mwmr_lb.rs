@@ -62,12 +62,22 @@ pub struct MwmrLbOutcome {
     pub history: History,
 }
 
+/// Maps a quiescence failure to the construction's typed verdict:
+/// livelock is a result the caller sees, not a panic.
+fn settled(r: Result<u64, fastreg_simnet::world::QuiescenceError>) -> Result<u64, LbError> {
+    r.map_err(|e| LbError::DidNotQuiesce {
+        steps: e.steps,
+        in_transit: e.in_transit,
+    })
+}
+
 /// Executes the §7 refutation with `S` servers (`t = 1`, `W = R = 2`).
 ///
 /// # Errors
 ///
 /// Returns [`LbError::NoPartition`] if `S < 2` (with `t = 1` a single
-/// server cannot even form a quorum system worth refuting).
+/// server cannot even form a quorum system worth refuting), or
+/// [`LbError::DidNotQuiesce`] if a protocol under test livelocks.
 pub fn run_mwmr_lb(s: u32, seed: u64) -> Result<MwmrLbOutcome, LbError> {
     if s < 2 {
         return Err(LbError::NoPartition);
@@ -77,10 +87,10 @@ pub fn run_mwmr_lb(s: u32, seed: u64) -> Result<MwmrLbOutcome, LbError> {
     // --- Sequential run¹ against the naive fast protocol. ----------------
     let mut c: Cluster<MwmrNaiveFast> = Cluster::new(cfg, seed);
     c.write_by(1, 2); // w2 writes 2 …
-    c.settle();
+    settled(c.try_settle())?;
     c.world.advance_to(SimTime::from_ticks(100));
     c.write_by(0, 1); // … then w1 writes 1 …
-    c.settle();
+    settled(c.try_settle())?;
     c.world.advance_to(SimTime::from_ticks(200));
     let sequential_return = c.read(0); // … then r1 reads.
     let history = c.snapshot();
@@ -89,9 +99,9 @@ pub fn run_mwmr_lb(s: u32, seed: u64) -> Result<MwmrLbOutcome, LbError> {
     // --- Control: the two-round ABD MWMR baseline. -----------------------
     let mut control: Cluster<MwmrAbd> = Cluster::new(cfg, seed);
     control.write_by(1, 2);
-    control.settle();
+    settled(control.try_settle())?;
     control.write_by(0, 1);
-    control.settle();
+    settled(control.try_settle())?;
     let abd_sequential_return = control.read(0);
     assert_eq!(
         control.check_linearizable(),

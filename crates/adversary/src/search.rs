@@ -7,14 +7,18 @@
 //! writer crashes mid-broadcast — and checks every resulting history.
 //! Finding nothing is the experimental complement of the correctness
 //! proof (E8 uses both directions to trace the feasibility frontier).
-
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+//!
+//! Since the schedule-exploration engine landed, this is a thin facade
+//! over [`mod@crate::explore`]: each run is one [`Cell`] on the requested
+//! configuration, cycling through every [`FaultDistribution`] so a
+//! search covers calm, crashy and partition-shaped schedule families.
+//! Runs stay deterministic per `(base_seed, run index)` and independent
+//! of each other.
 
 use fastreg::config::ClusterConfig;
-use fastreg::harness::{Cluster, FastCrash};
-use fastreg::protocols::fast_crash::{Reader, Writer};
-use fastreg_atomicity::swmr::check_swmr_atomicity;
+use fastreg::protocols::registry::ProtocolId;
+
+use crate::explore::cell::{Cell, FaultDistribution};
 
 /// The result of a randomized search.
 #[derive(Clone, Debug)]
@@ -35,16 +39,15 @@ impl SearchOutcome {
 }
 
 /// Runs `n_runs` randomized adversarial schedules against the Fig. 2
-/// implementation on `cfg`, with roughly `ops_per_run` operations per run.
+/// implementation on `cfg`, with an `ops_per_run` operation budget per
+/// run.
 ///
-/// Each run interleaves, for a random number of rounds:
-///
-/// * invoking a write or a read at a random *idle* client,
-/// * delivering a random subset of in-transit messages (leaving the rest
-///   "in transit" indefinitely, as the model allows),
-/// * crashing up to `t` servers, and possibly the writer mid-broadcast,
-///
-/// then drains the network and checks the history.
+/// Run `i` is the exploration cell with seed `base_seed + i` and the
+/// `i mod 4`-th fault distribution; each interleaves operation
+/// invocations at random idle clients with random delivery bursts,
+/// scripted crashes/partitions drawn from the distribution, a drain, a
+/// sequential read round under the partition, and a final heal — then
+/// checks the history with the §3.1 checker.
 pub fn random_adversarial_search(
     cfg: ClusterConfig,
     base_seed: u64,
@@ -55,11 +58,21 @@ pub fn random_adversarial_search(
     let mut first_violation = None;
     for run in 0..n_runs {
         let seed = base_seed.wrapping_add(run);
-        let history = one_run(cfg, seed, ops_per_run);
-        if let Err(e) = check_swmr_atomicity(&history) {
+        let cell = Cell {
+            protocol: ProtocolId::FastCrash,
+            cfg,
+            seed,
+            ops: ops_per_run,
+            dist: FaultDistribution::ALL[(run % FaultDistribution::ALL.len() as u64) as usize],
+        };
+        let out = cell.run();
+        if !out.verdict.is_clean() {
             violations += 1;
             if first_violation.is_none() {
-                first_violation = Some((seed, format!("{e}\n{}", history.render())));
+                first_violation = Some((
+                    seed,
+                    format!("{}\n{}", out.verdict, out.history.unwrap_or_default()),
+                ));
             }
         }
     }
@@ -68,84 +81,6 @@ pub fn random_adversarial_search(
         violations,
         first_violation,
     }
-}
-
-fn one_run(cfg: ClusterConfig, seed: u64, ops: u32) -> fastreg_atomicity::history::History {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xadd0_75a7);
-    let mut c: Cluster<FastCrash> = Cluster::new(cfg, seed);
-    let layout = c.layout;
-    let mut crashes_left = cfg.t;
-    let mut writer_crashed = false;
-    let mut next_value = 1u64;
-    let mut issued = 0u32;
-
-    while issued < ops {
-        match rng.gen_range(0..10u32) {
-            // Invoke a write if the writer is idle.
-            0..=2 => {
-                if writer_crashed {
-                    continue;
-                }
-                let idle = c
-                    .world
-                    .with_actor::<Writer, _, _>(layout.writer(0), |w| w.is_idle())
-                    .unwrap_or(false);
-                if idle {
-                    // Occasionally crash the writer mid-broadcast.
-                    if crashes_left > 0 && rng.gen_bool(0.1) {
-                        let k = rng.gen_range(0..=cfg.s as usize);
-                        c.world.arm_crash_after_sends(layout.writer(0), k);
-                        writer_crashed = true;
-                        // A writer crash does not consume a server crash
-                        // budget; track separately but keep it simple: the
-                        // model allows any number of client crashes.
-                    }
-                    c.write(next_value);
-                    next_value += 1;
-                    issued += 1;
-                }
-            }
-            // Invoke a read at a random idle reader.
-            3..=6 => {
-                let i = rng.gen_range(0..cfg.r);
-                let idle = c
-                    .world
-                    .with_actor::<Reader, _, _>(layout.reader(i), |r| r.is_idle())
-                    .unwrap_or(false);
-                if idle {
-                    c.read_async(i);
-                    issued += 1;
-                }
-            }
-            // Deliver a burst of random messages.
-            7..=8 => {
-                let burst = rng.gen_range(1..=8);
-                for _ in 0..burst {
-                    if !c.world.step_random() {
-                        break;
-                    }
-                }
-            }
-            // Crash a random live server (within the budget).
-            _ => {
-                if crashes_left > 0 && rng.gen_bool(0.3) {
-                    let j = rng.gen_range(0..cfg.s);
-                    let addr = layout.server(j);
-                    if !c.world.is_crashed(addr) {
-                        c.world.crash(addr);
-                        crashes_left -= 1;
-                    }
-                }
-            }
-        }
-        // Keep some background delivery going so ops eventually finish.
-        if rng.gen_bool(0.5) {
-            c.world.step_random();
-        }
-    }
-    // Drain: every op that can complete, completes.
-    c.world.run_random_until_quiescent();
-    c.snapshot()
 }
 
 #[cfg(test)]
@@ -174,5 +109,20 @@ mod tests {
         let b = random_adversarial_search(cfg, 3, 5, 6);
         assert_eq!(a.violations, b.violations);
         assert_eq!(a.runs, b.runs);
+    }
+
+    #[test]
+    fn the_search_finds_violations_past_the_bound() {
+        // The same facade that certifies the feasible side hunts the
+        // infeasible side: past the bound the partition-shaped
+        // distributions find the §5 violation within a modest budget.
+        let cfg = ClusterConfig::crash_stop(5, 1, 3).unwrap();
+        assert!(!cfg.fast_feasible());
+        let out = random_adversarial_search(cfg, 0, 64, 8);
+        assert!(
+            !out.is_clean(),
+            "expected a violation past the bound in {} runs",
+            out.runs
+        );
     }
 }

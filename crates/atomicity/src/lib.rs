@@ -15,6 +15,8 @@
 //!   cross-check of the SWMR checker).
 //! * [`regularity`] — Lamport's regular-register condition (§8 contrasts
 //!   fast regular registers with fast atomic ones).
+//! * [`verdict`] — checker outcomes as stable serializable codes, the
+//!   form schedule-exploration counterexample files store and compare.
 //!
 //! ## Example
 //!
@@ -42,8 +44,10 @@ pub mod history;
 pub mod linearizability;
 pub mod regularity;
 pub mod swmr;
+pub mod verdict;
 
 pub use history::{History, OpId, OpKind, Operation, RegValue, SharedHistory};
 pub use linearizability::{check_linearizable, LinCheckError};
 pub use regularity::check_swmr_regularity;
 pub use swmr::{check_swmr_atomicity, AtomicityViolation};
+pub use verdict::{UnknownVerdict, Verdict, ViolationKind};

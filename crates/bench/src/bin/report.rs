@@ -1,4 +1,5 @@
-//! Regenerates every experiment table from EXPERIMENTS.md.
+//! Regenerates every experiment table from EXPERIMENTS.md, and fronts
+//! the schedule-exploration engine.
 //!
 //! Usage:
 //!
@@ -12,7 +13,21 @@
 //! report --quick --baseline BENCH_baseline.json --check-regression 50
 //!                             # diff wall times against a committed
 //!                             # `--json` output; exit 1 past the threshold
+//!
+//! report explore --cells 64 --threads 4 --budget 8 --seed 0 --out found/
+//!                             # fan the exploration grid across a worker
+//!                             # pool; shrink violations; write replayable
+//!                             # counterexample files to found/. Exit 1 iff
+//!                             # a *sound feasible* cell violated.
+//! report explore --replay corpus/            # replay a file or directory;
+//!                             # exit 1 unless every counterexample
+//!                             # reproduces its verdict + fingerprint
+//! report explore --json ...   # either mode, machine-readable
 //! ```
+//!
+//! Exploration is deterministic: the same `--cells`/`--budget`/`--seed`
+//! produce identical verdicts and identical counterexample bytes at any
+//! `--threads`.
 //!
 //! Protocol names are resolved through the runtime registry
 //! (`fastreg::protocols::registry`); unknown experiment or protocol
@@ -133,6 +148,11 @@ fn experiments(quick: bool) -> Vec<Experiment<'static>> {
             // point of the experiment is that 100k ops is cheap now.
             run: Box::new(|| exp::e14_scale(&[1_000, 10_000, 100_000]).render()),
         },
+        Experiment {
+            id: "e15",
+            title: "E15 — parallel schedule exploration: grid fuzzing with shrunk counterexamples",
+            run: Box::new(move || exp::e15_exploration(if quick { 108 } else { 360 }, 4).render()),
+        },
     ]
 }
 
@@ -187,8 +207,266 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// `report explore` — the schedule-exploration front end.
+fn explore_main(args: &[String]) -> ExitCode {
+    use fastreg_adversary::explore::{default_grid, explore, Counterexample, ExploreConfig};
+
+    let mut cells: u32 = 64;
+    let mut threads: usize = 4;
+    let mut budget: u32 = 8;
+    let mut seed: u64 = 0;
+    let mut out: Option<String> = None;
+    let mut replay: Option<String> = None;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let usage = || {
+            eprintln!(
+                "usage: report explore [--cells N] [--threads N] [--budget OPS] [--seed N] \
+                 [--out DIR] [--json] | report explore --replay <file-or-dir> [--json]"
+            );
+            ExitCode::from(2)
+        };
+        macro_rules! numeric_flag {
+            ($target:ident) => {{
+                match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => $target = v,
+                    None => return usage(),
+                }
+            }};
+        }
+        match a.as_str() {
+            "--cells" => numeric_flag!(cells),
+            "--threads" => numeric_flag!(threads),
+            "--budget" => numeric_flag!(budget),
+            "--seed" => numeric_flag!(seed),
+            "--out" => match it.next() {
+                Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--replay" => match it.next() {
+                Some(v) => replay = Some(v.clone()),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            _ => {
+                eprintln!("unknown explore flag '{a}'");
+                return usage();
+            }
+        }
+    }
+
+    // ---- Replay mode: reproduce a counterexample file or directory. ----
+    if let Some(path) = replay {
+        let meta = match std::fs::metadata(&path) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("cannot stat '{path}': {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut files: Vec<String> = if meta.is_dir() {
+            match std::fs::read_dir(&path) {
+                Ok(entries) => entries
+                    .filter_map(|e| e.ok())
+                    .map(|e| e.path().to_string_lossy().into_owned())
+                    .filter(|p| p.ends_with(".txt"))
+                    .collect(),
+                Err(e) => {
+                    eprintln!("cannot read '{path}': {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        } else {
+            vec![path.clone()]
+        };
+        files.sort();
+        if files.is_empty() {
+            eprintln!("'{path}' contains no counterexample (.txt) files");
+            return ExitCode::from(2);
+        }
+        let mut reproduced = 0usize;
+        let mut entries: Vec<String> = Vec::new();
+        for file in &files {
+            let outcome: Result<(String, bool), String> = std::fs::read_to_string(file)
+                .map_err(|e| e.to_string())
+                .and_then(|text| {
+                    Counterexample::parse(&text)
+                        .map_err(|e| e.to_string())
+                        .map(|cx| {
+                            let r = cx.replay();
+                            (r.verdict.to_string(), r.reproduces(&cx))
+                        })
+                });
+            match outcome {
+                Ok((verdict, ok)) => {
+                    if ok {
+                        reproduced += 1;
+                    }
+                    if json {
+                        entries.push(format!(
+                            "    {{ \"file\": \"{}\", \"verdict\": \"{}\", \"reproduced\": {} }}",
+                            json_escape(file),
+                            json_escape(&verdict),
+                            ok
+                        ));
+                    } else {
+                        println!(
+                            "{file}: {verdict} {}",
+                            if ok { "reproduced" } else { "DIVERGED" }
+                        );
+                    }
+                }
+                Err(e) => {
+                    if json {
+                        entries.push(format!(
+                            "    {{ \"file\": \"{}\", \"error\": \"{}\", \"reproduced\": false }}",
+                            json_escape(file),
+                            json_escape(&e)
+                        ));
+                    } else {
+                        println!("{file}: ERROR {e}");
+                    }
+                }
+            }
+        }
+        if json {
+            println!("{{");
+            println!("  \"mode\": \"replay\",");
+            println!("  \"reproduced\": {reproduced},");
+            println!("  \"total\": {},", files.len());
+            println!("  \"entries\": [");
+            println!("{}", entries.join(",\n"));
+            println!("  ]");
+            println!("}}");
+        } else {
+            println!("{reproduced}/{} counterexamples reproduced", files.len());
+        }
+        return if reproduced == files.len() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::from(1)
+        };
+    }
+
+    // ---- Explore mode. -------------------------------------------------
+    let config = ExploreConfig {
+        cells,
+        threads,
+        ops: budget,
+        base_seed: seed,
+        grid: default_grid(),
+    };
+    let report = explore(&config);
+    let expected = report.expected().count();
+    let unexpected = report.unexpected().count();
+
+    // Persist every finding as a replayable counterexample file.
+    let mut written: Vec<(usize, String)> = Vec::new();
+    if let Some(dir) = &out {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create --out dir '{dir}': {e}");
+            return ExitCode::from(2);
+        }
+        for (i, f) in report.findings.iter().enumerate() {
+            let path = format!("{dir}/{}", f.counterexample.file_name());
+            if let Err(e) = std::fs::write(&path, f.counterexample.render()) {
+                eprintln!("cannot write '{path}': {e}");
+                return ExitCode::from(2);
+            }
+            written.push((i, path));
+        }
+    }
+
+    if json {
+        let findings: Vec<String> = report
+            .findings
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let cx = &f.counterexample;
+                let file = written
+                    .iter()
+                    .find(|(j, _)| *j == i)
+                    .map(|(_, p)| format!(", \"file\": \"{}\"", json_escape(p)))
+                    .unwrap_or_default();
+                format!(
+                    "    {{ \"cell\": {}, \"protocol\": \"{}\", \
+                     \"config\": \"s={} t={} b={} r={} w={}\", \"verdict\": \"{}\", \
+                     \"expected\": {}, \"fault_events\": {}{} }}",
+                    f.cell_index,
+                    json_escape(cx.protocol.name()),
+                    cx.cfg.s,
+                    cx.cfg.t,
+                    cx.cfg.b,
+                    cx.cfg.r,
+                    cx.cfg.w,
+                    json_escape(cx.verdict.code()),
+                    f.expectation == fastreg_adversary::explore::CellExpectation::MayViolate,
+                    cx.faults.len(),
+                    file
+                )
+            })
+            .collect();
+        println!("{{");
+        println!("  \"mode\": \"explore\",");
+        println!("  \"cells\": {cells},");
+        println!("  \"threads\": {threads},");
+        println!("  \"budget\": {budget},");
+        println!("  \"seed\": {seed},");
+        println!("  \"clean\": {},", report.clean_count());
+        println!("  \"expected_violations\": {expected},");
+        println!("  \"unexpected_violations\": {unexpected},");
+        println!("  \"findings\": [");
+        println!("{}", findings.join(",\n"));
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!(
+            "explored {cells} cells over {} grid points (threads {threads}, budget {budget}, \
+             seed {seed})",
+            config.grid.len()
+        );
+        println!("  clean:                 {}", report.clean_count());
+        println!("  expected violations:   {expected} (hunting cells: past the bound / unsound)");
+        println!("  unexpected violations: {unexpected}");
+        for f in &report.findings {
+            println!(
+                "  - cell {}: {} on {} s={} t={} b={} r={} w={} ({} fault events after shrinking)",
+                f.cell_index,
+                f.counterexample.verdict,
+                f.counterexample.protocol.name(),
+                f.counterexample.cfg.s,
+                f.counterexample.cfg.t,
+                f.counterexample.cfg.b,
+                f.counterexample.cfg.r,
+                f.counterexample.cfg.w,
+                f.counterexample.faults.len()
+            );
+        }
+        for (_, path) in &written {
+            println!("  wrote {path}");
+        }
+    }
+    if unexpected > 0 {
+        eprintln!(
+            "{unexpected} sound feasible cell(s) violated their contract — protocol bug; \
+             counterexamples{} replay with `report explore --replay <file>`",
+            if out.is_some() { " written;" } else { ":" }
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
+
+    // The explore subcommand owns its own flag space.
+    if args.first().map(String::as_str) == Some("explore") {
+        return explore_main(&args[1..]);
+    }
 
     // One parse loop; unknown flags and names are errors, not silent
     // no-ops. Protocol names resolve through the registry.

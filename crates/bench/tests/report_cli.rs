@@ -246,3 +246,130 @@ fn unparseable_baseline_exits_2() {
     let stderr = String::from_utf8(out.stderr).unwrap();
     assert!(stderr.contains("no (id, wall_ms) entries"));
 }
+
+// ---------------------------------------------------------------- explore
+
+#[test]
+fn explore_runs_and_reports_both_directions() {
+    let out = report(&[
+        "explore",
+        "--cells",
+        "72",
+        "--threads",
+        "2",
+        "--budget",
+        "8",
+        "--seed",
+        "5",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("explored 72 cells"));
+    assert!(stdout.contains("unexpected violations: 0"));
+    // Seed 5 deterministically finds hunting-ground violations (this is
+    // the CI fuzz-smoke invocation's seed for exactly that reason).
+    assert!(stdout.contains("expected violations:"));
+    assert!(
+        stdout.contains("new-old-inversion") || stdout.contains("not-linearizable"),
+        "hunting cells must yield shrunk findings:\n{stdout}"
+    );
+}
+
+#[test]
+fn explore_is_thread_count_independent_at_the_cli() {
+    let run = |threads: &str| {
+        let out = report(&[
+            "explore",
+            "--cells",
+            "54",
+            "--threads",
+            threads,
+            "--budget",
+            "6",
+            "--seed",
+            "5",
+            "--json",
+        ]);
+        assert!(out.status.success(), "{out:?}");
+        String::from_utf8(out.stdout).unwrap()
+    };
+    let one = run("1");
+    let four = run("4");
+    // Identical JSON except the echoed threads line itself.
+    let strip = |s: &str| {
+        s.lines()
+            .filter(|l| !l.contains("\"threads\""))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(strip(&one), strip(&four));
+}
+
+#[test]
+fn explore_writes_replayable_counterexamples() {
+    let dir = std::env::temp_dir().join(format!("report_cli_found_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = report(&[
+        "explore",
+        "--cells",
+        "72",
+        "--threads",
+        "2",
+        "--budget",
+        "8",
+        "--seed",
+        "5",
+        "--out",
+        dir.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let files: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert!(!files.is_empty(), "seed 5 findings must be written");
+    // And the written files replay green through the CLI.
+    let replay = report(&["explore", "--replay", dir.to_str().unwrap()]);
+    assert!(replay.status.success(), "{replay:?}");
+    let stdout = String::from_utf8(replay.stdout).unwrap();
+    assert!(stdout.contains("reproduced"));
+    assert!(!stdout.contains("DIVERGED"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn explore_replays_the_committed_corpus() {
+    let corpus = format!("{}/../../corpus", env!("CARGO_MANIFEST_DIR"));
+    let out = report(&["explore", "--replay", &corpus, "--json"]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"mode\": \"replay\""));
+    assert!(stdout.contains("\"reproduced\": true"));
+    assert!(!stdout.contains("\"reproduced\": false"));
+}
+
+#[test]
+fn explore_replay_divergence_exits_1() {
+    // Corrupt a corpus entry's expected verdict: parse succeeds, replay
+    // diverges, exit code 1.
+    let corpus = format!(
+        "{}/../../corpus/fast-crash-s5t1b0r3w1-seed3073235814424963731.txt",
+        env!("CARGO_MANIFEST_DIR")
+    );
+    let text = std::fs::read_to_string(corpus).unwrap();
+    assert!(text.contains("verdict: new-old-inversion"));
+    let tampered = text.replace("verdict: new-old-inversion", "verdict: read-from-future");
+    let file = TempFile::with_content("tampered.txt", &tampered);
+    let out = report(&["explore", "--replay", file.path()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("DIVERGED"));
+}
+
+#[test]
+fn explore_rejects_bad_flags_and_paths() {
+    let out = report(&["explore", "--cells", "not-a-number"]);
+    assert_eq!(out.status.code(), Some(2));
+    let out = report(&["explore", "--warp", "9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--warp"));
+    let out = report(&["explore", "--replay", "/no/such/path"]);
+    assert_eq!(out.status.code(), Some(2));
+}

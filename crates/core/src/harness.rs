@@ -52,15 +52,17 @@ use fastreg_atomicity::history::{History, SharedHistory};
 use fastreg_atomicity::linearizability::{check_linearizable, LinCheckError};
 use fastreg_atomicity::regularity::{check_swmr_regularity, RegularityViolation};
 use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
+use fastreg_atomicity::verdict::Verdict;
 use fastreg_auth::{KeyId, Keychain, SignerHandle, Verifier};
 use fastreg_simnet::automaton::Automaton;
+use fastreg_simnet::id::ProcessId;
 use fastreg_simnet::runner::SimConfig;
 use fastreg_simnet::time::SimTime;
 use fastreg_simnet::world::{QuiescenceError, World};
 
 use crate::config::ClusterConfig;
 use crate::layout::Layout;
-use crate::protocols::registry::{ProtocolId, Registry};
+use crate::protocols::registry::{Contract, ProtocolId, Registry};
 use crate::protocols::{abd, fast_byz, fast_crash, fast_regular, maxmin, mwmr, swsr_fast};
 use crate::types::{RegValue, Value};
 
@@ -958,12 +960,31 @@ pub trait RegisterOps {
     /// Delivers pending messages in random order until quiescent;
     /// returns the number of deliveries.
     fn run_random_until_quiescent(&mut self) -> u64;
+    /// Delivers one uniformly random deliverable message (pure
+    /// interleaving exploration); `false` if nothing was deliverable.
+    fn step_random(&mut self) -> bool;
     /// Total messages sent so far.
     fn messages_sent(&self) -> u64;
     /// Crashes server `index` immediately.
     fn crash_server(&mut self, index: u32);
+    /// Crashes the process at layout address index `proc` immediately —
+    /// the general form fault scripts use (clients may crash too; the
+    /// model allows any number of client crashes).
+    fn crash_proc(&mut self, proc: u32);
     /// Arms writer `wid` to crash after its next `sends` message sends.
     fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize);
+    /// Blocks the directed link `from → to`, both named by their layout
+    /// address index (messages on it stay in transit for the timed and
+    /// random schedulers until [`heal_link_procs`](RegisterOps::heal_link_procs)).
+    fn block_link_procs(&mut self, from: u32, to: u32);
+    /// Heals a directed link previously blocked with
+    /// [`block_link_procs`](RegisterOps::block_link_procs).
+    fn heal_link_procs(&mut self, from: u32, to: u32);
+    /// Stable fingerprint of the simulated world's trace so far (see
+    /// [`Trace::fingerprint`](fastreg_simnet::trace::Trace::fingerprint)).
+    /// Equal fingerprints ⇔ event-identical runs; the schedule-exploration
+    /// replay path compares these.
+    fn trace_fingerprint(&self) -> u64;
 
     /// Invokes `write(value)` at writer 0 without settling.
     fn write(&mut self, value: Value) {
@@ -974,6 +995,22 @@ pub trait RegisterOps {
     fn write_sync(&mut self, value: Value) {
         self.write(value);
         self.settle();
+    }
+
+    /// Checks the history so far against `contract`, as a stable
+    /// [`Verdict`]: [`Contract::Atomic`] uses the §3.1 SWMR checker (the
+    /// Wing–Gong linearizability oracle when `W > 1`),
+    /// [`Contract::Regular`] the regularity checker, and
+    /// [`Contract::Unsound`] the linearizability oracle (the contract the
+    /// counterexample-target protocols *claim* and fail).
+    fn contract_verdict(&self, contract: Contract) -> Verdict {
+        match contract {
+            Contract::Atomic if self.cfg().w <= 1 => Verdict::from_atomicity(&self.check_atomic()),
+            Contract::Atomic | Contract::Unsound => {
+                Verdict::from_linearizable(&self.check_linearizable())
+            }
+            Contract::Regular => Verdict::from_regularity(&self.check_regular()),
+        }
     }
 }
 
@@ -1050,6 +1087,10 @@ impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
         self.world.run_random_until_quiescent()
     }
 
+    fn step_random(&mut self) -> bool {
+        self.world.step_random()
+    }
+
     fn messages_sent(&self) -> u64 {
         self.world.stats().sent
     }
@@ -1059,9 +1100,27 @@ impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
         self.world.crash(p);
     }
 
+    fn crash_proc(&mut self, proc: u32) {
+        self.world.crash(ProcessId::new(proc));
+    }
+
     fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize) {
         let p = self.layout.writer(wid);
         self.world.arm_crash_after_sends(p, sends);
+    }
+
+    fn block_link_procs(&mut self, from: u32, to: u32) {
+        self.world
+            .block_link(ProcessId::new(from), ProcessId::new(to));
+    }
+
+    fn heal_link_procs(&mut self, from: u32, to: u32) {
+        self.world
+            .heal_link(ProcessId::new(from), ProcessId::new(to));
+    }
+
+    fn trace_fingerprint(&self) -> u64 {
+        self.world.trace().fingerprint()
     }
 }
 
@@ -1188,6 +1247,10 @@ impl RegisterOps for DynCluster {
         self.inner.run_random_until_quiescent()
     }
 
+    fn step_random(&mut self) -> bool {
+        self.inner.step_random()
+    }
+
     fn messages_sent(&self) -> u64 {
         self.inner.messages_sent()
     }
@@ -1196,8 +1259,24 @@ impl RegisterOps for DynCluster {
         self.inner.crash_server(index);
     }
 
+    fn crash_proc(&mut self, proc: u32) {
+        self.inner.crash_proc(proc);
+    }
+
     fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize) {
         self.inner.arm_writer_crash_after_sends(wid, sends);
+    }
+
+    fn block_link_procs(&mut self, from: u32, to: u32) {
+        self.inner.block_link_procs(from, to);
+    }
+
+    fn heal_link_procs(&mut self, from: u32, to: u32) {
+        self.inner.heal_link_procs(from, to);
+    }
+
+    fn trace_fingerprint(&self) -> u64 {
+        self.inner.trace_fingerprint()
     }
 }
 
@@ -1424,6 +1503,79 @@ mod tests {
         let snap = c.snapshot();
         assert_eq!(c.ops_recorded(), snap.len() as u64);
         assert_eq!(c.ops_completed(), snap.complete_ops().count() as u64);
+    }
+
+    #[test]
+    fn link_controls_and_fingerprint_work_through_dyn() {
+        use fastreg_atomicity::verdict::Verdict;
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(6)
+            .build(ProtocolId::FastCrash)
+            .unwrap();
+        let layout = c.layout();
+        let writer = layout.writer(0).index();
+        let s0 = layout.server(0).index();
+        // Block the writer's link to server 0: the write still completes
+        // (quorum 4 of 5) but server 0 never hears it.
+        c.block_link_procs(writer, s0);
+        c.write(1);
+        c.run_random_until_quiescent();
+        assert!(!c.client_busy(writer), "write completes on a 4/5 quorum");
+        let fp_blocked = c.trace_fingerprint();
+        // Healing delivers the parked message; the trace (and so the
+        // fingerprint) changes.
+        c.heal_link_procs(writer, s0);
+        while c.step_random() {}
+        assert_ne!(c.trace_fingerprint(), fp_blocked);
+        c.read_async(0);
+        c.run_random_until_quiescent();
+        assert_eq!(c.contract_verdict(Contract::Atomic), Verdict::Clean);
+        assert_eq!(c.contract_verdict(Contract::Regular), Verdict::Clean);
+
+        // Identical runs have identical fingerprints.
+        let fingerprint_of = |seed: u64| {
+            let mut c = ClusterBuilder::new(cfg)
+                .seed(seed)
+                .build(ProtocolId::FastCrash)
+                .unwrap();
+            c.write(1);
+            c.read_async(1);
+            c.run_random_until_quiescent();
+            c.trace_fingerprint()
+        };
+        assert_eq!(fingerprint_of(9), fingerprint_of(9));
+        assert_ne!(fingerprint_of(9), fingerprint_of(10));
+    }
+
+    #[test]
+    fn contract_verdict_uses_the_right_checker_per_population() {
+        use fastreg_atomicity::verdict::{Verdict, ViolationKind};
+        // MWMR: atomicity goes through the linearizability oracle.
+        let cfg = ClusterConfig::mwmr(3, 1, 2, 2).unwrap();
+        let mut naive = ClusterBuilder::new(cfg)
+            .seed(1)
+            .build(ProtocolId::MwmrNaiveFast)
+            .unwrap();
+        RegisterOps::write_by(&mut naive, 1, 2);
+        naive.settle();
+        naive.advance_to_ticks(100);
+        RegisterOps::write_by(&mut naive, 0, 1);
+        naive.settle();
+        naive.advance_to_ticks(200);
+        naive.read(0);
+        assert_eq!(
+            naive.contract_verdict(Contract::Unsound),
+            Verdict::Violation(ViolationKind::NotLinearizable)
+        );
+        let mut sound = ClusterBuilder::new(cfg)
+            .seed(1)
+            .build(ProtocolId::MwmrAbd)
+            .unwrap();
+        RegisterOps::write_by(&mut sound, 1, 2);
+        sound.settle();
+        sound.read(0);
+        assert_eq!(sound.contract_verdict(Contract::Atomic), Verdict::Clean);
     }
 
     #[test]

@@ -169,6 +169,32 @@ impl Trace {
         self.suppressed
     }
 
+    /// A stable 64-bit fingerprint of the trace: FNV-1a over the rendered
+    /// entries plus the suppressed count.
+    ///
+    /// Two runs have equal fingerprints iff their stored traces render
+    /// identically — the compact form of the scheduler-equivalence
+    /// "byte-identical traces" check, used by replayable counterexample
+    /// files to assert that a replay reproduced the original run
+    /// event-for-event without embedding the whole trace.
+    pub fn fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        for e in &self.entries {
+            eat(e.to_string().as_bytes());
+            eat(b"\n");
+        }
+        eat(&self.suppressed.to_le_bytes());
+        h
+    }
+
     /// Renders the stored entries, one per line.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -232,6 +258,25 @@ mod tests {
             sent_before_crash: 0,
         };
         assert_eq!(crash.at(), SimTime::from_ticks(3));
+    }
+
+    #[test]
+    fn fingerprint_tracks_render() {
+        let mut a = Trace::with_capacity(10);
+        let mut b = Trace::with_capacity(10);
+        a.record(send_entry(1));
+        b.record(send_entry(1));
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.record(send_entry(2));
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Suppression is part of the identity: a full trace that dropped
+        // different numbers of entries is a different run.
+        let mut c = Trace::with_capacity(1);
+        let mut d = Trace::with_capacity(1);
+        c.record(send_entry(1));
+        d.record(send_entry(1));
+        d.record(send_entry(2));
+        assert_ne!(c.fingerprint(), d.fingerprint());
     }
 
     #[test]

@@ -27,8 +27,8 @@ use crate::driver::{run_closed_loop, WorkloadSpec};
 use crate::table::Table;
 
 /// The experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 14] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14",
+pub const EXPERIMENT_IDS: [&str; 15] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
 ];
 
 /// The protocols experiment `id` exercises — the ground truth for the
@@ -54,6 +54,8 @@ pub fn experiment_protocols(id: &str) -> &'static [ProtocolId] {
             ProtocolId::FastRegular,
             ProtocolId::MwmrAbd,
         ],
+        // E15 explores the default grid: every registered protocol.
+        "e15" => &ProtocolId::ALL,
         _ => &[],
     }
 }
@@ -862,6 +864,105 @@ pub fn e14_scale(sizes: &[u64]) -> Table {
     table
 }
 
+/// E15 — parallel schedule exploration: the engine fans (protocol ×
+/// configuration × fault-distribution × seed) cells across a worker
+/// pool, checks every history against its protocol's declared contract,
+/// and shrinks every violation to a replayable counterexample.
+///
+/// The grid is [`fastreg_adversary::explore::default_grid`]: every
+/// registered protocol on its canonical feasible configuration plus the
+/// seeded hunting grounds (Fig. 2 past the fast bound, the unsound
+/// one-round MWMR). The experiment asserts the two directions the paper
+/// proves: sound feasible cells never violate, and the hunting grounds
+/// *do* yield violations — each one shrunk and replay-verified before
+/// the table is rendered.
+pub fn e15_exploration(cells: u32, threads: usize) -> Table {
+    use fastreg_adversary::explore::{
+        default_grid, explore, Cell, CellExpectation, ExploreConfig, FaultDistribution,
+    };
+
+    let config = ExploreConfig {
+        cells,
+        threads,
+        ops: 8,
+        base_seed: 0xe15,
+        grid: default_grid(),
+    };
+    let report = explore(&config);
+    if let Some(f) = report.unexpected().next() {
+        panic!(
+            "E15: sound feasible protocol {} violated its contract ({}) at cell {}",
+            f.counterexample.protocol.name(),
+            f.counterexample.verdict,
+            f.cell_index
+        );
+    }
+    assert!(
+        report.expected().count() > 0,
+        "E15: the hunting grounds (past the bound / unsound) must yield violations"
+    );
+    for f in &report.findings {
+        assert!(
+            f.counterexample.replay().reproduces(&f.counterexample),
+            "E15: counterexample at cell {} does not replay",
+            f.cell_index
+        );
+    }
+
+    // One row per grid point, aggregated over distributions and seeds.
+    let mut table = Table::new(vec![
+        "protocol",
+        "S,t,b,R,W",
+        "expectation",
+        "cells",
+        "clean",
+        "violations",
+        "min shrunk faults",
+    ]);
+    for point in &config.grid {
+        let here = |c: &fastreg_adversary::explore::Cell| {
+            c.protocol == point.protocol && c.cfg == point.cfg
+        };
+        let ran: Vec<_> = report.cells.iter().filter(|e| here(&e.cell)).collect();
+        let clean = ran.iter().filter(|e| e.outcome.verdict.is_clean()).count();
+        let findings: Vec<_> = report
+            .findings
+            .iter()
+            .filter(|f| here(&report.cells[f.cell_index].cell))
+            .collect();
+        let expectation = match (Cell {
+            protocol: point.protocol,
+            cfg: point.cfg,
+            seed: 0,
+            ops: 1,
+            dist: FaultDistribution::Calm,
+        })
+        .expectation()
+        {
+            CellExpectation::Clean => "must stay clean",
+            CellExpectation::MayViolate => "hunting",
+        };
+        table.row(vec![
+            point.protocol.name().into(),
+            format!(
+                "{},{},{},{},{}",
+                point.cfg.s, point.cfg.t, point.cfg.b, point.cfg.r, point.cfg.w
+            ),
+            expectation.into(),
+            ran.len().to_string(),
+            clean.to_string(),
+            (ran.len() - clean).to_string(),
+            findings
+                .iter()
+                .map(|f| f.counterexample.faults.len())
+                .min()
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -914,6 +1015,19 @@ mod tests {
         let s = e10_predicate().render();
         assert!(s.contains("witness level"));
         assert!(s.contains("300/300"));
+    }
+
+    #[test]
+    fn e15_explores_both_directions_deterministically() {
+        let t = e15_exploration(144, 2);
+        // One row per default-grid point: 8 canonical + the past-the-bound
+        // hunting point.
+        assert_eq!(t.len(), 9);
+        let s = t.render();
+        assert!(s.contains("hunting"));
+        assert!(s.contains("must stay clean"));
+        // Identical cells at another thread count render identically.
+        assert_eq!(s, e15_exploration(144, 4).render());
     }
 
     #[test]

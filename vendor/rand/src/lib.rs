@@ -154,12 +154,32 @@ pub mod seq {
     }
 
     impl<I: Iterator> IteratorRandom for I {}
+
+    /// Extension trait: in-place operations on slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
 }
 
 /// Commonly imported items.
 pub mod prelude {
     pub use super::rngs::StdRng;
-    pub use super::seq::IteratorRandom;
+    pub use super::seq::{IteratorRandom, SliceRandom};
     pub use super::{Rng, RngCore, SeedableRng};
 }
 
