@@ -1,0 +1,69 @@
+//! Sharded-store throughput: KV ops per second as a function of shard
+//! count and worker threads.
+//!
+//! Each iteration runs one fixed closed-loop KV workload (uniform keys,
+//! 20% puts) against a freshly built store, through the batched
+//! frontend. Two axes:
+//!
+//! * **shards** — 1 vs 8: more shards means more per-flush parallelism
+//!   *and* smaller per-key histories, so the 8-shard store wins even on
+//!   one thread;
+//! * **threads** — 1 vs 4 at 8 shards: shards are independent simulated
+//!   worlds claimed from a shared cursor, so on a multi-core host the
+//!   run scales with the pool. (On a single-core container the thread
+//!   counts print the same wall time; the scaling is a property of the
+//!   frontend, the observation needs the cores.)
+//!
+//! Contract checking is excluded: this bench measures the routing /
+//! batching / register hot path, not the checkers (those have their own
+//! bench in `checkers.rs`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use fastreg::config::ClusterConfig;
+use fastreg::protocols::registry::ProtocolId;
+use fastreg_store::store::StoreBuilder;
+use fastreg_workload::kv::{run_kv_workload, KeyDist, KvWorkloadSpec};
+
+const OPS: u64 = 2_000;
+
+fn spec() -> KvWorkloadSpec {
+    KvWorkloadSpec {
+        n_ops: OPS,
+        n_keys: 256,
+        n_clients: 32,
+        put_fraction: 0.2,
+        dist: KeyDist::Uniform,
+        seed: 0xbe9c5,
+    }
+}
+
+fn run(shards: u32, threads: usize) {
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let store = StoreBuilder::new(cfg)
+        .shards(shards)
+        .seed(1)
+        .protocol(ProtocolId::FastCrash)
+        .build()
+        .expect("feasible");
+    let (_, report) = run_kv_workload(store, &spec(), threads).expect("no stalls");
+    assert_eq!(report.breakdown.completed, OPS);
+}
+
+fn store_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("store/kv_closed_loop_2k_ops");
+    for shards in [1u32, 8] {
+        g.bench_function(BenchmarkId::new("shards_1_thread", shards), |bench| {
+            bench.iter(|| run(shards, 1));
+        });
+    }
+    for threads in [1usize, 4] {
+        g.bench_function(BenchmarkId::new("threads_8_shards", threads), |bench| {
+            bench.iter(|| run(8, threads));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, store_throughput);
+criterion_main!(benches);

@@ -23,6 +23,15 @@
 //!                             # exit 1 unless every counterexample
 //!                             # reproduces its verdict + fingerprint
 //! report explore --json ...   # either mode, machine-readable
+//!
+//! report store --shards 8 --threads 4 --keys 1200 --ops 10000 --json
+//!                             # closed-loop KV workload against a
+//!                             # sharded multi-register store; checks
+//!                             # every key's contract. The --json bytes
+//!                             # are identical at any --threads. Exit 1
+//!                             # iff a sound backend violated per key.
+//! report store --protocol fast-crash,abd,fast-byz --skew zipf:1.2
+//!                             # heterogeneous backends, hot-key skew
 //! ```
 //!
 //! Exploration is deterministic: the same `--cells`/`--budget`/`--seed`
@@ -152,6 +161,13 @@ fn experiments(quick: bool) -> Vec<Experiment<'static>> {
             id: "e15",
             title: "E15 — parallel schedule exploration: grid fuzzing with shrunk counterexamples",
             run: Box::new(move || exp::e15_exploration(if quick { 108 } else { 360 }, 4).render()),
+        },
+        Experiment {
+            id: "e16",
+            title: "E16 — sharded KV store: shards × backend × key-skew, per-key contracts",
+            // The quick headline still issues 10k ops over a 1.5k-key
+            // keyspace — the store's scale floor is part of the contract.
+            run: Box::new(move || exp::e16_store(if quick { 10_000 } else { 40_000 }, 4).render()),
         },
     ]
 }
@@ -460,12 +476,274 @@ fn explore_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `report store` — the sharded key–value store front end.
+///
+/// Runs one closed-loop KV workload against a [`ShardedStore`] and
+/// prints throughput, routing and per-key verdict statistics. The
+/// `--json` document carries **no wall-clock fields**, so its bytes are
+/// identical at any `--threads` — the determinism contract CI pins.
+///
+/// Exit codes: 0 clean, 1 if any *sound* backend violated its per-key
+/// contract (or the store stalled), 2 on usage errors.
+///
+/// [`ShardedStore`]: fastreg_store::store::ShardedStore
+fn store_main(args: &[String]) -> ExitCode {
+    use fastreg_store::store::StoreBuilder;
+    use fastreg_workload::kv::{run_kv_workload, KeyDist, KvWorkloadSpec};
+
+    let mut shards: u32 = 8;
+    let mut threads: usize = 4;
+    let mut keys: u64 = 1_200;
+    let mut ops: u64 = 10_000;
+    let mut clients: u32 = 64;
+    let mut seed: u64 = 0;
+    let mut put_fraction: f64 = 0.2;
+    let mut backends: Vec<ProtocolId> = vec![ProtocolId::FastCrash];
+    let mut dist = KeyDist::Uniform;
+    let mut json = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let usage = || {
+            eprintln!(
+                "usage: report store [--shards N] [--threads N] [--keys N] [--ops N] \
+                 [--clients N] [--seed N] [--put-fraction F] \
+                 [--protocol name[,name…]] [--skew uniform|zipf[:EXP]] [--json]"
+            );
+            ExitCode::from(2)
+        };
+        macro_rules! numeric_flag {
+            ($target:ident) => {{
+                match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => $target = v,
+                    None => return usage(),
+                }
+            }};
+        }
+        match a.as_str() {
+            "--shards" => numeric_flag!(shards),
+            "--threads" => numeric_flag!(threads),
+            "--keys" => numeric_flag!(keys),
+            "--ops" => numeric_flag!(ops),
+            "--clients" => numeric_flag!(clients),
+            "--seed" => numeric_flag!(seed),
+            "--put-fraction" => {
+                // Strict like --skew: a typo must be a usage error, not
+                // a silently clamped (or NaN-poisoned) workload mix.
+                match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                    Some(f) if f.is_finite() && (0.0..=1.0).contains(&f) => put_fraction = f,
+                    _ => {
+                        eprintln!("--put-fraction needs a value in [0, 1]");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--protocol" => {
+                let Some(v) = it.next() else { return usage() };
+                let mut parsed = Vec::new();
+                for name in v.split(',') {
+                    match ProtocolId::parse(name) {
+                        Ok(id) => parsed.push(id),
+                        Err(e) => {
+                            eprintln!("{e}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                if parsed.is_empty() {
+                    return usage();
+                }
+                backends = parsed;
+            }
+            "--skew" => {
+                let Some(v) = it.next() else { return usage() };
+                dist = if v == "uniform" {
+                    KeyDist::Uniform
+                } else if let Some(rest) = v.strip_prefix("zipf") {
+                    let exponent = match rest.strip_prefix(':') {
+                        None if rest.is_empty() => 1.2,
+                        Some(e) => match e.parse::<f64>() {
+                            Ok(x) if x.is_finite() && x >= 0.0 => x,
+                            _ => {
+                                eprintln!("invalid zipf exponent '{e}'");
+                                return ExitCode::from(2);
+                            }
+                        },
+                        None => {
+                            eprintln!("unknown skew '{v}' (valid: uniform, zipf, zipf:EXP)");
+                            return ExitCode::from(2);
+                        }
+                    };
+                    KeyDist::Zipf { exponent }
+                } else {
+                    eprintln!("unknown skew '{v}' (valid: uniform, zipf, zipf:EXP)");
+                    return ExitCode::from(2);
+                };
+            }
+            "--json" => json = true,
+            _ => {
+                eprintln!("unknown store flag '{a}'");
+                return usage();
+            }
+        }
+    }
+    if shards == 0 || keys == 0 || clients == 0 {
+        eprintln!("--shards, --keys and --clients must be positive");
+        return ExitCode::from(2);
+    }
+
+    let cfg = fastreg::config::ClusterConfig::crash_stop(5, 1, 2).expect("statically valid");
+    let store = match StoreBuilder::new(cfg)
+        .shards(shards)
+        .seed(seed)
+        .backends(backends.clone())
+        .build()
+    {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let spec = KvWorkloadSpec {
+        n_ops: ops,
+        n_keys: keys,
+        n_clients: clients,
+        put_fraction,
+        dist,
+        seed,
+    };
+    let start = Instant::now();
+    let (store, report) = match run_kv_workload(store, &spec, threads) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("store run failed: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let unexpected = report.check.unexpected().count();
+
+    let backend_names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
+    let lat = |s: &Option<fastreg_workload::LatencyStats>| match s {
+        Some(s) => format!("p50 {} / p95 {} / max {}", s.p50, s.p95, s.max),
+        None => "-".into(),
+    };
+    if json {
+        // Deliberately no wall-clock fields: these bytes are a
+        // determinism contract across --threads values.
+        let shards_json: Vec<String> = store
+            .shards()
+            .iter()
+            .map(|s| {
+                format!(
+                    "    {{ \"shard\": {}, \"protocol\": \"{}\", \"keys\": {}, \"ops\": {}, \
+                     \"messages\": {} }}",
+                    s.index(),
+                    json_escape(s.protocol().name()),
+                    s.key_count(),
+                    s.ops_applied(),
+                    s.messages_sent()
+                )
+            })
+            .collect();
+        // No "threads" field either: the worker-pool size is a runtime
+        // knob that must not leave a trace in the result.
+        println!("{{");
+        println!("  \"mode\": \"store\",");
+        println!("  \"shards\": {shards},");
+        println!("  \"keys\": {keys},");
+        println!("  \"ops\": {ops},");
+        println!("  \"clients\": {clients},");
+        println!("  \"seed\": {seed},");
+        println!(
+            "  \"backends\": [{}],",
+            backend_names
+                .iter()
+                .map(|n| format!("\"{}\"", json_escape(n)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        );
+        println!("  \"skew\": \"{}\",", json_escape(&dist.to_string()));
+        println!("  \"completed\": {},", report.breakdown.completed);
+        println!("  \"incomplete\": {},", report.breakdown.incomplete);
+        println!("  \"puts\": {},", report.puts);
+        println!("  \"gets\": {},", report.gets);
+        println!("  \"distinct_keys\": {},", report.distinct_keys);
+        println!("  \"messages\": {},", report.messages_sent);
+        println!("  \"flushes\": {},", report.stats.flushes);
+        println!("  \"waves\": {},", report.stats.waves);
+        println!("  \"fingerprint\": \"{:016x}\",", report.fingerprint);
+        println!("  \"keys_clean\": {},", report.check.clean_count());
+        println!(
+            "  \"keys_violating\": {},",
+            report.check.violations().count()
+        );
+        println!("  \"unexpected_violations\": {unexpected},");
+        println!("  \"per_shard\": [");
+        println!("{}", shards_json.join(",\n"));
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!(
+            "store: {shards} shards × [{}] over {keys}-key space, {clients} clients, \
+             skew {dist} (threads {threads}, seed {seed})",
+            backend_names.join(", ")
+        );
+        println!(
+            "  ops:        {} completed, {} incomplete ({} puts / {} gets) in {wall_ms:.1} ms \
+             ({:.0} ops/ms)",
+            report.breakdown.completed,
+            report.breakdown.incomplete,
+            report.puts,
+            report.gets,
+            ops as f64 / wall_ms.max(0.001)
+        );
+        println!(
+            "  routing:    {} distinct keys, {} flushes, {} settle waves, {:.1} msgs/op",
+            report.distinct_keys,
+            report.stats.flushes,
+            report.stats.waves,
+            report.messages_per_op()
+        );
+        println!("  get ticks:  {}", lat(&report.breakdown.reads));
+        println!("  put ticks:  {}", lat(&report.breakdown.writes));
+        println!(
+            "  verdicts:   {}/{} keys clean ({} unexpected violations)",
+            report.check.clean_count(),
+            report.check.per_key.len(),
+            unexpected
+        );
+        println!("  fingerprint {:016x}", report.fingerprint);
+        for s in store.shards() {
+            println!(
+                "  - shard {} [{}]: {} keys, {} ops, {} messages",
+                s.index(),
+                s.protocol().name(),
+                s.key_count(),
+                s.ops_applied(),
+                s.messages_sent()
+            );
+        }
+    }
+    if unexpected > 0 {
+        eprintln!(
+            "{unexpected} key(s) on sound backends violated their contract — protocol or store bug"
+        );
+        return ExitCode::from(1);
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
 
-    // The explore subcommand owns its own flag space.
+    // The explore and store subcommands own their own flag spaces.
     if args.first().map(String::as_str) == Some("explore") {
         return explore_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("store") {
+        return store_main(&args[1..]);
     }
 
     // One parse loop; unknown flags and names are errors, not silent

@@ -373,3 +373,122 @@ fn explore_rejects_bad_flags_and_paths() {
     let out = report(&["explore", "--replay", "/no/such/path"]);
     assert_eq!(out.status.code(), Some(2));
 }
+
+#[test]
+fn store_json_is_byte_identical_across_thread_counts() {
+    // The store's determinism contract: shards are independent simulated
+    // worlds, so the worker-pool size may change wall-clock only. The
+    // JSON document carries no timing fields and must not change by a
+    // byte across --threads values.
+    let run = |threads: &str| {
+        let out = report(&[
+            "store",
+            "--shards",
+            "4",
+            "--threads",
+            threads,
+            "--keys",
+            "80",
+            "--ops",
+            "400",
+            "--clients",
+            "16",
+            "--seed",
+            "9",
+            "--json",
+        ]);
+        assert!(out.status.success(), "threads {threads}");
+        out.stdout
+    };
+    let one = run("1");
+    assert_eq!(run("2"), one, "threads 2 diverged");
+    assert_eq!(run("4"), one, "threads 4 diverged");
+    let text = String::from_utf8(one).unwrap();
+    assert!(text.contains("\"mode\": \"store\""));
+    assert!(text.contains("\"completed\": 400"));
+    assert!(text.contains("\"unexpected_violations\": 0"));
+    assert!(!text.contains("threads"), "no runtime knobs in the result");
+    assert!(!text.contains("wall"), "no timing fields in the result");
+}
+
+#[test]
+fn store_runs_heterogeneous_backends_and_skew() {
+    let out = report(&[
+        "store",
+        "--shards",
+        "3",
+        "--threads",
+        "2",
+        "--keys",
+        "60",
+        "--ops",
+        "300",
+        "--protocol",
+        "fast-crash,abd,fast-byz",
+        "--skew",
+        "zipf:1.3",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("fast-crash, abd, fast-byz"));
+    assert!(stdout.contains("zipf(1.3)"));
+    assert!(stdout.contains("keys clean (0 unexpected violations)"));
+    // One shard per backend, in round-robin order.
+    assert!(stdout.contains("shard 0 [fast-crash]"));
+    assert!(stdout.contains("shard 1 [abd]"));
+    assert!(stdout.contains("shard 2 [fast-byz]"));
+}
+
+#[test]
+fn store_rejects_unknown_protocols_and_flags() {
+    let out = report(&["store", "--protocol", "fast-quantum"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr)
+        .unwrap()
+        .contains("fast-quantum"));
+
+    let out = report(&["store", "--warp", "9"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8(out.stderr).unwrap().contains("--warp"));
+
+    let out = report(&["store", "--skew", "pareto"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = report(&["store", "--shards", "0"]);
+    assert_eq!(out.status.code(), Some(2));
+
+    let out = report(&["store", "--shards"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn store_default_skew_and_zipf_shorthand_parse() {
+    let out = report(&[
+        "store", "--shards", "2", "--keys", "40", "--ops", "120", "--skew", "zipf", "--json",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("\"skew\": \"zipf(1.2)\""), "{stdout}");
+}
+
+#[test]
+fn store_rejects_out_of_range_put_fractions() {
+    for bad in ["NaN", "1.5", "-0.1", "inf"] {
+        let out = report(&["store", "--put-fraction", bad]);
+        assert_eq!(out.status.code(), Some(2), "--put-fraction {bad}");
+        assert!(String::from_utf8(out.stderr).unwrap().contains("[0, 1]"));
+    }
+    let out = report(&[
+        "store",
+        "--shards",
+        "2",
+        "--keys",
+        "30",
+        "--ops",
+        "90",
+        "--put-fraction",
+        "0.5",
+        "--json",
+    ]);
+    assert!(out.status.success());
+}

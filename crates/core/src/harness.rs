@@ -1129,10 +1129,13 @@ impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
 ///
 /// Obtained from [`ClusterBuilder::build`] (or
 /// [`DynCluster::from_cluster`] to erase a cluster built statically).
-/// All operations go through the [`RegisterOps`] impl.
+/// All operations go through the [`RegisterOps`] impl. The erased
+/// cluster is `Send`, so deployments can migrate between worker threads
+/// — the property the sharded store's batched frontend leans on when it
+/// fans shards across a thread pool.
 pub struct DynCluster {
     id: ProtocolId,
-    inner: Box<dyn RegisterOps>,
+    inner: Box<dyn RegisterOps + Send>,
 }
 
 impl DynCluster {
@@ -1146,7 +1149,7 @@ impl DynCluster {
     pub fn from_cluster<P>(id: ProtocolId, cluster: Cluster<P>) -> Self
     where
         P: ProtocolFamily + 'static,
-        P::Ctx: 'static,
+        P::Ctx: Send + 'static,
     {
         DynCluster {
             id,
@@ -1546,6 +1549,17 @@ mod tests {
         };
         assert_eq!(fingerprint_of(9), fingerprint_of(9));
         assert_ne!(fingerprint_of(9), fingerprint_of(10));
+    }
+
+    #[test]
+    fn dyn_clusters_are_send() {
+        // The sharded store moves shards (collections of DynClusters)
+        // between worker threads; a non-Send regression here would only
+        // surface as a cross-crate build break, so pin it at the source.
+        fn assert_send<T: Send>() {}
+        assert_send::<DynCluster>();
+        assert_send::<Cluster<FastCrash>>();
+        assert_send::<Cluster<FastByz>>();
     }
 
     #[test]

@@ -40,7 +40,7 @@
 //! let mut cluster: Cluster<FastCrash> = Cluster::new(cfg, 42);
 //!
 //! cluster.write(7);
-//! cluster.settle();
+//! cluster.try_settle()?; // typed error if the protocol never quiesces
 //! assert_eq!(cluster.read(0), RegValue::Val(7));
 //! cluster.check_atomic()?;
 //! # Ok::<(), Box<dyn std::error::Error>>(())

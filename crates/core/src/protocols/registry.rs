@@ -268,7 +268,7 @@ impl ProtocolEntry {
 fn build_dyn<P>(id: ProtocolId, cfg: ClusterConfig, sim: SimConfig) -> DynCluster
 where
     P: ProtocolFamily + 'static,
-    P::Ctx: 'static,
+    P::Ctx: Send + 'static,
 {
     let cluster: Cluster<P> = TypedClusterBuilder::<P>::new(cfg).sim(sim).build();
     DynCluster::from_cluster(id, cluster)

@@ -14,12 +14,14 @@
 //! clone, no rescan of the recorded operations, however long the run.
 
 use std::collections::HashMap;
+use std::fmt;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use fastreg::harness::RegisterOps;
 use fastreg_atomicity::history::History;
+use fastreg_simnet::world::QuiescenceError;
 
 use crate::metrics::OpBreakdown;
 
@@ -72,12 +74,63 @@ impl WorkloadReport {
     }
 }
 
+/// A closed-loop run that could not finish.
+///
+/// The driver never panics mid-experiment: a deployment that stops
+/// making progress (step budget exhausted with messages still in
+/// transit — e.g. too many crashed servers for the quorum) surfaces
+/// here as a value, with the partial run attached for forensics.
+#[derive(Clone, Debug)]
+pub enum DriverError {
+    /// The world's step budget ran out before the run quiesced.
+    DidNotQuiesce {
+        /// Operations the driver had issued when the run stalled.
+        issued: u64,
+        /// Operations that had completed by then.
+        completed: u64,
+        /// The scheduler's own account of the stall.
+        source: QuiescenceError,
+    },
+}
+
+impl fmt::Display for DriverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriverError::DidNotQuiesce {
+                issued,
+                completed,
+                source,
+            } => write!(
+                f,
+                "closed loop stalled after issuing {issued} ops ({completed} completed): {source}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DriverError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DriverError::DidNotQuiesce { source, .. } => Some(source),
+        }
+    }
+}
+
 /// Runs a closed-loop workload on a cluster (writer 0 writes; readers
 /// read).
 ///
 /// Values written are `1, 2, 3, …` so histories stay checkable by the
 /// SWMR checker (distinct values).
-pub fn run_closed_loop(cluster: &mut dyn RegisterOps, spec: &WorkloadSpec) -> WorkloadReport {
+///
+/// # Errors
+///
+/// Returns [`DriverError::DidNotQuiesce`] if the deployment stops making
+/// progress before every issued operation settles — the error carries
+/// the scheduler's diagnosis instead of panicking mid-experiment.
+pub fn run_closed_loop(
+    cluster: &mut dyn RegisterOps,
+    spec: &WorkloadSpec,
+) -> Result<WorkloadReport, DriverError> {
     let mut rng = StdRng::seed_from_u64(spec.seed ^ 0x0c10_ced1);
     let layout = cluster.layout();
     let writer = layout.writer(0);
@@ -138,15 +191,21 @@ pub fn run_closed_loop(cluster: &mut dyn RegisterOps, spec: &WorkloadSpec) -> Wo
             }
         }
     }
-    cluster.settle();
+    cluster
+        .try_settle()
+        .map_err(|source| DriverError::DidNotQuiesce {
+            issued,
+            completed: cluster.ops_completed(),
+            source,
+        })?;
 
     let history = cluster.snapshot();
-    WorkloadReport {
+    Ok(WorkloadReport {
         breakdown: OpBreakdown::of(&history),
         messages_sent: cluster.messages_sent(),
         duration_ticks: cluster.now_ticks(),
         history,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -277,7 +336,8 @@ mod tests {
                 n_ops: 50,
                 ..WorkloadSpec::default()
             },
-        );
+        )
+        .expect("quiesces");
         assert_eq!(report.breakdown.completed, 50);
         assert_eq!(report.breakdown.incomplete, 0);
         check_swmr_atomicity(&report.history).unwrap();
@@ -295,7 +355,7 @@ mod tests {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         let run = |id: ProtocolId| {
             let mut c = ClusterBuilder::new(cfg).seed(1).build(id).unwrap();
-            run_closed_loop(&mut c, &spec)
+            run_closed_loop(&mut c, &spec).expect("quiesces")
         };
         let fast_report = run(ProtocolId::FastCrash);
         let abd_report = run(ProtocolId::Abd);
@@ -323,7 +383,8 @@ mod tests {
                 write_fraction: 0.0,
                 ..WorkloadSpec::default()
             },
-        );
+        )
+        .expect("quiesces");
         assert!(report.breakdown.writes.is_none());
         assert_eq!(report.breakdown.reads.unwrap().count, 20);
     }
@@ -343,7 +404,8 @@ mod tests {
                 think_time: 3,
                 ..WorkloadSpec::default()
             },
-        );
+        )
+        .expect("quiesces");
         assert_eq!(report.breakdown.completed, 200);
         assert_eq!(
             counted.snapshots.get(),
@@ -373,7 +435,7 @@ mod tests {
             .build(ProtocolId::FastCrash)
             .unwrap();
         let mut counted = Counting::new(&mut c);
-        let report = run_closed_loop(&mut counted, &spec);
+        let report = run_closed_loop(&mut counted, &spec).expect("quiesces");
         assert_eq!(report.breakdown.completed, 40);
         assert_eq!(report.breakdown.incomplete, 0);
         check_swmr_atomicity(&report.history).unwrap();
@@ -392,6 +454,38 @@ mod tests {
     }
 
     #[test]
+    fn stalled_deployment_is_an_error_not_a_panic() {
+        // A step budget far too small for the issued traffic: the final
+        // settle exhausts it with messages still in transit. The driver
+        // must hand that back as a typed error, not panic mid-experiment.
+        use fastreg_simnet::runner::SimConfig;
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c = ClusterBuilder::new(cfg)
+            .seed(8)
+            .sim(SimConfig::default().with_max_steps(4))
+            .build(ProtocolId::FastCrash)
+            .unwrap();
+        let err = run_closed_loop(
+            &mut c,
+            &WorkloadSpec {
+                n_ops: 3, // one per client: all issuable before any completes
+                write_fraction: 1.0,
+                think_time: 0,
+                seed: 0,
+            },
+        )
+        .expect_err("a 4-step budget cannot settle 3 concurrent ops");
+        let DriverError::DidNotQuiesce {
+            issued, completed, ..
+        } = &err;
+        assert_eq!(*issued, 3);
+        assert!(completed < issued);
+        let msg = err.to_string();
+        assert!(msg.contains("stalled"), "got: {msg}");
+        assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
     fn report_is_deterministic() {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         let spec = WorkloadSpec {
@@ -404,7 +498,7 @@ mod tests {
                 .seed(4)
                 .build(ProtocolId::FastCrash)
                 .unwrap();
-            let r = run_closed_loop(&mut c, &spec);
+            let r = run_closed_loop(&mut c, &spec).expect("quiesces");
             (r.messages_sent, r.duration_ticks, r.breakdown.completed)
         };
         assert_eq!(run(), run());

@@ -21,6 +21,9 @@
 //! | E11 | §1 single-reader corner | [`experiments::e11_single_reader`] |
 //! | E12 | exhaustive schedule exploration | [`experiments::e12_exploration`] |
 //! | E13 | seen-set ablation | [`experiments::e13_seen_ablation`] |
+//! | E14 | closed-loop scale | [`experiments::e14_scale`] |
+//! | E15 | parallel schedule exploration | [`experiments::e15_exploration`] |
+//! | E16 | sharded KV store sweep | [`experiments::e16_store`] |
 //!
 //! Each experiment returns a rendered table (and asserts its own internal
 //! expectations); the `report` binary in `fastreg-bench` prints them.
@@ -35,9 +38,11 @@
 
 pub mod driver;
 pub mod experiments;
+pub mod kv;
 pub mod metrics;
 pub mod table;
 
-pub use driver::{run_closed_loop, WorkloadReport, WorkloadSpec};
+pub use driver::{run_closed_loop, DriverError, WorkloadReport, WorkloadSpec};
+pub use kv::{run_kv_workload, KeyDist, KvReport, KvWorkloadSpec};
 pub use metrics::{LatencyStats, OpBreakdown};
 pub use table::Table;

@@ -45,7 +45,7 @@ fn main() {
             .sim(sim())
             .build(id)
             .expect("sample configurations are feasible");
-        let report = run_closed_loop(&mut cluster, &spec());
+        let report = run_closed_loop(&mut cluster, &spec()).expect("feasible deployments quiesce");
 
         // Verify the contract the registry declares for the protocol.
         // The closed loop only issues writes at writer 0, so even the

@@ -47,7 +47,8 @@ fn main() {
             think_time: 1_000,
             seed: 7,
         },
-    );
+    )
+    .expect("a feasible deployment with one crash quiesces");
 
     let reads = report.breakdown.reads.clone().expect("dashboards polled");
     let writes = report.breakdown.writes.clone().expect("gateway published");

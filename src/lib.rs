@@ -22,6 +22,7 @@
 //! * [`fastreg_atomicity`] — atomicity / linearizability / regularity checkers.
 //! * [`fastreg_adversary`] — the lower-bound proofs (§5, §6.2, §7) as code.
 //! * [`fastreg_workload`] — workload generators and the experiment harness.
+//! * [`fastreg_store`] — the sharded multi-register key–value store.
 
 #![warn(missing_docs)]
 
@@ -30,6 +31,7 @@ pub use fastreg_adversary;
 pub use fastreg_atomicity;
 pub use fastreg_auth;
 pub use fastreg_simnet;
+pub use fastreg_store;
 pub use fastreg_workload;
 
 /// Commonly used items, re-exported for examples and tests.
@@ -68,4 +70,8 @@ pub mod prelude {
     pub use fastreg_atomicity::regularity::check_swmr_regularity;
     pub use fastreg_atomicity::swmr::check_swmr_atomicity;
     pub use fastreg_simnet::runner::SimConfig;
+    pub use fastreg_store::{
+        BatchedFrontend, KvOp, KvOpKind, Router, ShardedStore, StoreBuilder, StoreChecker,
+        StoreError,
+    };
 }

@@ -116,3 +116,17 @@ fn e14_scale_sweep_completes_across_the_registry() {
         assert!(s.contains(name), "e14 must sweep {name}");
     }
 }
+
+#[test]
+fn e16_store_sweep_serves_a_keyspace_with_clean_per_key_verdicts() {
+    // A reduced headline (the report binary runs the ≥ 10k-op one); the
+    // sweep rows must cover homogeneous, heterogeneous and skewed
+    // stores, and the experiment's internal assertions guarantee every
+    // key's projected sub-history upheld its backend's contract.
+    let t = exp::e16_store(3_000, 2);
+    assert_eq!(t.len(), 6);
+    let s = t.render();
+    assert!(s.contains("mixed"), "heterogeneous backends swept");
+    assert!(s.contains("zipf(1.2)"), "skewed keyspace swept");
+    assert!(s.contains("clean"), "per-key verdict column rendered");
+}

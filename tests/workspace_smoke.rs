@@ -64,3 +64,32 @@ fn prelude_registry_and_builder_round_trip() {
     c.write_sync(1);
     assert_eq!(c.read(0), RegValue::Val(1));
 }
+
+/// The store surface — `StoreBuilder`, `BatchedFrontend`, `KvOp`,
+/// `StoreChecker` — is re-exported by the prelude and usable end to end:
+/// shard a keyspace, push a small workload through the frontend, and
+/// check every key's contract.
+#[test]
+fn prelude_store_round_trip() {
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let store = StoreBuilder::new(cfg)
+        .shards(3)
+        .seed(2)
+        .backends(vec![ProtocolId::FastCrash, ProtocolId::Abd])
+        .build()
+        .expect("feasible backends");
+    assert_eq!(store.router().shard_of(7), Router::new(3).shard_of(7));
+    let mut frontend = BatchedFrontend::new(store, 2, 8);
+    for i in 0..24u64 {
+        let op = if i % 3 == 0 {
+            KvOp::put(0, i % 6, i + 1)
+        } else {
+            KvOp::get((i % 2) as u32, i % 6)
+        };
+        frontend.submit(op).expect("no stalls");
+    }
+    let (store, stats) = frontend.finish().expect("no stalls");
+    assert_eq!(stats.ops, 24);
+    let report = StoreChecker::check(&store);
+    assert!(report.is_clean(), "every key upholds its contract");
+}

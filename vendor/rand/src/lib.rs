@@ -132,6 +132,142 @@ pub mod rngs {
     }
 }
 
+pub mod distributions {
+    //! Non-uniform sampling: the weighted-index distribution.
+    //!
+    //! Implements the slice of `rand::distributions` the workspace uses —
+    //! [`WeightedIndex`] behind the [`Distribution`] trait — so skewed
+    //! (hot-key) workloads can be generated without network dependencies.
+
+    use super::{Rng, RngCore};
+
+    /// A distribution of values of type `T` sampled with an [`RngCore`].
+    pub trait Distribution<T> {
+        /// Draws one value using `rng`.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// Rejected weight vectors for [`WeightedIndex::new`].
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum WeightedError {
+        /// The weight vector was empty.
+        NoItem,
+        /// A weight was negative, NaN or infinite.
+        InvalidWeight,
+        /// Every weight was zero, so no index can ever be drawn.
+        AllWeightsZero,
+    }
+
+    impl std::fmt::Display for WeightedError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            f.write_str(match self {
+                WeightedError::NoItem => "weighted index over no items",
+                WeightedError::InvalidWeight => "weight is negative, NaN or infinite",
+                WeightedError::AllWeightsZero => "all weights are zero",
+            })
+        }
+    }
+
+    impl std::error::Error for WeightedError {}
+
+    /// Samples indices `0..n` with probability proportional to the given
+    /// weights (cumulative sums + binary search, O(log n) per draw).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rand::distributions::{Distribution, WeightedIndex};
+    /// use rand::rngs::StdRng;
+    /// use rand::SeedableRng;
+    ///
+    /// let dist = WeightedIndex::new([8.0, 1.0, 1.0]).unwrap();
+    /// let mut rng = StdRng::seed_from_u64(1);
+    /// let mut hits = [0u32; 3];
+    /// for _ in 0..1000 {
+    ///     hits[dist.sample(&mut rng)] += 1;
+    /// }
+    /// assert!(hits[0] > hits[1] + hits[2], "index 0 carries 80% of the mass");
+    /// ```
+    #[derive(Clone, Debug)]
+    pub struct WeightedIndex {
+        cumulative: Vec<f64>,
+        total: f64,
+    }
+
+    impl WeightedIndex {
+        /// Builds the distribution from finite non-negative weights.
+        ///
+        /// # Errors
+        ///
+        /// Returns a [`WeightedError`] if the vector is empty, a weight is
+        /// negative / NaN / infinite, or all weights are zero.
+        pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+        where
+            I: IntoIterator,
+            I::Item: Into<f64>,
+        {
+            let mut cumulative = Vec::new();
+            let mut total = 0.0f64;
+            for w in weights {
+                let w: f64 = w.into();
+                if !w.is_finite() || w < 0.0 {
+                    return Err(WeightedError::InvalidWeight);
+                }
+                total += w;
+                cumulative.push(total);
+            }
+            if cumulative.is_empty() {
+                return Err(WeightedError::NoItem);
+            }
+            if total <= 0.0 {
+                return Err(WeightedError::AllWeightsZero);
+            }
+            Ok(WeightedIndex { cumulative, total })
+        }
+
+        /// Number of weights (sampled indices are `0..len`).
+        pub fn len(&self) -> usize {
+            self.cumulative.len()
+        }
+
+        /// Returns `true` if the distribution has no items (never: `new`
+        /// rejects empty weight vectors — provided for API symmetry).
+        pub fn is_empty(&self) -> bool {
+            self.cumulative.is_empty()
+        }
+    }
+
+    impl Distribution<usize> for WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            // Uniform draw in [0, total), then the first cumulative sum
+            // strictly above it. Zero-weight items are never returned:
+            // their cumulative equals their predecessor's, and
+            // partition_point skips past ties.
+            let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            let target = unit * self.total;
+            self.cumulative
+                .partition_point(|&c| c <= target)
+                .min(self.cumulative.len() - 1)
+        }
+    }
+
+    impl Distribution<usize> for &WeightedIndex {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> usize {
+            (**self).sample(rng)
+        }
+    }
+
+    /// Convenience on [`Rng`]: `rng.sample(&dist)`, as in upstream rand.
+    pub trait SampleExt: Rng {
+        /// Draws one value from `dist`.
+        fn sample<T, D: Distribution<T>>(&mut self, dist: &D) -> T {
+            dist.sample(self)
+        }
+    }
+
+    impl<R: Rng + ?Sized> SampleExt for R {}
+}
+
 pub mod seq {
     //! Random selection from sequences and iterators.
 
@@ -178,6 +314,7 @@ pub mod seq {
 
 /// Commonly imported items.
 pub mod prelude {
+    pub use super::distributions::{Distribution, WeightedIndex};
     pub use super::rngs::StdRng;
     pub use super::seq::{IteratorRandom, SliceRandom};
     pub use super::{Rng, RngCore, SeedableRng};
@@ -213,6 +350,76 @@ mod tests {
         let mut r = StdRng::seed_from_u64(2);
         assert!(!r.gen_bool(0.0));
         assert!(r.gen_bool(1.0));
+    }
+
+    #[test]
+    fn weighted_index_rejects_bad_weights() {
+        use super::distributions::{WeightedError, WeightedIndex};
+        assert_eq!(
+            WeightedIndex::new(Vec::<f64>::new()).unwrap_err(),
+            WeightedError::NoItem
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, -2.0]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([1.0, f64::NAN]).unwrap_err(),
+            WeightedError::InvalidWeight
+        );
+        assert_eq!(
+            WeightedIndex::new([0.0, 0.0]).unwrap_err(),
+            WeightedError::AllWeightsZero
+        );
+        for e in [
+            WeightedError::NoItem,
+            WeightedError::InvalidWeight,
+            WeightedError::AllWeightsZero,
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn weighted_index_is_deterministic_and_in_range() {
+        use super::distributions::{Distribution, WeightedIndex};
+        let dist = WeightedIndex::new([3.0, 1.0, 0.0, 2.0]).unwrap();
+        assert_eq!(dist.len(), 4);
+        assert!(!dist.is_empty());
+        let draw = |seed| {
+            let mut r = StdRng::seed_from_u64(seed);
+            (0..256).map(|_| dist.sample(&mut r)).collect::<Vec<_>>()
+        };
+        let a = draw(9);
+        assert_eq!(a, draw(9), "same seed, same stream");
+        assert!(a.iter().all(|&i| i < 4));
+        assert!(a.iter().all(|&i| i != 2), "zero weight is never drawn");
+        // The heaviest index dominates.
+        let count = |k| a.iter().filter(|&&i| i == k).count();
+        assert!(count(0) > count(1));
+        assert!(count(0) > count(3));
+        assert!(count(1) > 0 && count(3) > 0);
+    }
+
+    #[test]
+    fn weighted_index_skews_toward_hot_keys() {
+        use super::distributions::{Distribution, WeightedIndex};
+        // A Zipf-like weight vector: w_k = 1 / (k+1)^1.1 over 100 keys.
+        let weights: Vec<f64> = (0..100)
+            .map(|k| 1.0 / f64::powf(k as f64 + 1.0, 1.1))
+            .collect();
+        let dist = WeightedIndex::new(weights).unwrap();
+        let mut r = StdRng::seed_from_u64(4);
+        let mut hits = [0u32; 100];
+        for _ in 0..10_000 {
+            hits[dist.sample(&mut r)] += 1;
+        }
+        let head: u32 = hits[..10].iter().sum();
+        let tail: u32 = hits[90..].iter().sum();
+        assert!(
+            head > 10 * tail.max(1),
+            "the head must be far hotter than the tail (head {head}, tail {tail})"
+        );
     }
 
     #[test]
