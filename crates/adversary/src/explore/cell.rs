@@ -252,6 +252,11 @@ impl Cell {
             .seed(self.seed)
             .build_unchecked(self.protocol);
         let layout = cluster.layout();
+        // The explorer steers the schedule by hand, so it needs the full
+        // simulator control surface, not just the portable ops.
+        let cluster = cluster
+            .sim_control()
+            .expect("schedule exploration runs on the simnet runtime");
         let mut rng = StdRng::seed_from_u64(splitmix64(self.seed ^ 0x5c8e_d01e_0000_0002));
         let mut next_value = 1u64;
         let mut issued = 0u64;

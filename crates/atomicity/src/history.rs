@@ -133,6 +133,8 @@ pub struct History {
     completed: usize,
     /// Outstanding (invoked, not yet responded) operations per client.
     pending_by_proc: std::collections::BTreeMap<u32, u32>,
+    /// Completed operations per client (maintained by `respond`).
+    completed_by_proc: std::collections::BTreeMap<u32, u64>,
 }
 
 impl History {
@@ -185,6 +187,7 @@ impl History {
         op.returned = returned;
         self.completed += 1;
         let proc = op.proc;
+        *self.completed_by_proc.entry(proc).or_insert(0) += 1;
         if let std::collections::btree_map::Entry::Occupied(mut e) =
             self.pending_by_proc.entry(proc)
         {
@@ -231,6 +234,18 @@ impl History {
     /// [`ops`](History::ops) for an incomplete entry.
     pub fn has_pending(&self, proc: u32) -> bool {
         self.pending_by_proc.contains_key(&proc)
+    }
+
+    /// Number of operations client `proc` has completed, in
+    /// O(log #clients).
+    ///
+    /// Wall-clock runtimes lean on this: between injecting an invocation
+    /// and the actor recording it there is a real-time window in which
+    /// [`has_pending`](History::has_pending) still reads `false`, so a
+    /// driver that must not double-invoke a client compares its own
+    /// issued count against this monotone completion count instead.
+    pub fn completed_by(&self, proc: u32) -> u64 {
+        self.completed_by_proc.get(&proc).copied().unwrap_or(0)
     }
 
     /// Iterator over completed operations.
@@ -327,6 +342,14 @@ impl SharedHistory {
     /// the driver-facing idleness query (no snapshot, no rescan).
     pub fn client_busy(&self, proc: u32) -> bool {
         self.inner.lock().has_pending(proc)
+    }
+
+    /// Number of operations client `proc` has completed — the monotone
+    /// counter wall-clock drivers compare against their own issue counts
+    /// (see [`History::completed_by`] for why `client_busy` alone is not
+    /// enough there).
+    pub fn completed_by(&self, proc: u32) -> u64 {
+        self.inner.lock().completed_by(proc)
     }
 }
 

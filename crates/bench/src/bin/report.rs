@@ -47,7 +47,11 @@
 //! loop by rerunning the selected experiments and comparing wall times
 //! against that anchor (`--check-regression <pct>` turns the comparison
 //! into a gate: exit code 1 when any experiment is more than `pct`
-//! percent slower than its baseline). The run's mode must match the
+//! percent slower than its baseline). The gate judges only experiments
+//! present in *both* the baseline and the current run: a newly added
+//! experiment shows as `no baseline (new experiment)`, a baseline entry
+//! outside this run's selection shows as `not measured this run`, and
+//! neither direction can fail the gate. The run's mode must match the
 //! baseline's recorded `"mode"` — quick and full seed counts are not
 //! comparable — and combining `--baseline` with `--json` measures once,
 //! emitting the JSON on stdout and the comparison on stderr, so a CI
@@ -168,6 +172,17 @@ fn experiments(quick: bool) -> Vec<Experiment<'static>> {
             // The quick headline still issues 10k ops over a 1.5k-key
             // keyspace — the store's scale floor is part of the contract.
             run: Box::new(move || exp::e16_store(if quick { 10_000 } else { 40_000 }, 4).render()),
+        },
+        Experiment {
+            id: "e17",
+            title: "E17 — real-threads runtime: closed-loop throughput, post-hoc checking",
+            // The worker sweep always runs 1→4; the 4>1 scaling assert
+            // only arms in full mode off CI (CI containers are 1-core).
+            run: Box::new(move || {
+                let scaling = !quick && std::env::var_os("CI").is_none();
+                exp::e17_rt_throughput(if quick { 400 } else { 5_000 }, &[1, 2, 4], scaling)
+                    .render()
+            }),
         },
     ]
 }
@@ -958,6 +973,20 @@ fn main() -> ExitCode {
                             e.id, base_ms, wall_ms, delta_pct
                         );
                     }
+                }
+            }
+            // The other half of the intersection rule: baseline entries
+            // this run did not measure (experiment retired, filtered by
+            // --protocol, or simply not selected). Reported so the
+            // narrowing is visible, never gated — only experiments in
+            // both sets can regress.
+            for (id, base_ms) in &base {
+                if !measured.iter().any(|(e, _, _)| e.id == *id) {
+                    let _ = writeln!(
+                        cmp,
+                        "{id:<5} {base_ms:>12.3} {:>12} {:>9}  not measured this run",
+                        "-", "-"
+                    );
                 }
             }
             drop(cmp);

@@ -239,6 +239,57 @@ fn regression_past_the_threshold_exits_1() {
 }
 
 #[test]
+fn experiment_missing_from_baseline_is_informational_not_a_regression() {
+    // The gate judges only experiments present in both sets: a baseline
+    // predating a new experiment (the E17 scenario) must not trip a
+    // false regression for it, even under a zero-tolerance threshold.
+    let json = report(&["--quick", "--json", "e13"]);
+    assert!(json.status.success());
+    let baseline =
+        TempFile::with_content("missing_e11.json", &String::from_utf8(json.stdout).unwrap());
+    let out = report(&[
+        "--quick",
+        "--baseline",
+        baseline.path(),
+        "--check-regression",
+        "100000",
+        "e13",
+        "e11",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("no baseline (new experiment)"), "{stdout}");
+    assert!(!stdout.contains("REGRESSED"));
+}
+
+#[test]
+fn baseline_entries_not_measured_this_run_are_reported_not_gated() {
+    // The reverse direction: selecting a subset leaves baseline-only
+    // entries visible as `not measured this run`, outside the gate.
+    let json = report(&["--quick", "--json", "e11", "e13"]);
+    assert!(json.status.success());
+    let baseline =
+        TempFile::with_content("superset.json", &String::from_utf8(json.stdout).unwrap());
+    let out = report(&[
+        "--quick",
+        "--baseline",
+        baseline.path(),
+        "--check-regression",
+        "100000",
+        "e13",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("not measured this run"), "{stdout}");
+    let e11_row = stdout
+        .lines()
+        .find(|l| l.starts_with("e11"))
+        .expect("baseline-only e11 appears in the table");
+    assert!(e11_row.contains("not measured this run"));
+    assert!(!stdout.contains("REGRESSED"));
+}
+
+#[test]
 fn unparseable_baseline_exits_2() {
     let baseline = TempFile::with_content("empty.json", "{ \"experiments\": [] }\n");
     let out = report(&["--baseline", baseline.path(), "e13"]);

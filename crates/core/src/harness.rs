@@ -45,6 +45,39 @@
 //!
 //! Both cluster forms implement [`RegisterOps`], so generic drivers take
 //! `&mut dyn RegisterOps` and work with either.
+//!
+//! ## Choosing a runtime
+//!
+//! The builder also picks the *execution substrate* via
+//! [`ClusterBuilder::runtime`]: [`Runtime::Simnet`] (the default) runs
+//! the deployment on the deterministic discrete-event simulator, while
+//! [`Runtime::Threads`] runs the very same automata on a pool of OS
+//! threads ([`ThreadCluster`](crate::threads::ThreadCluster), backed by
+//! [`fastreg_rt`]). Both return a [`DynCluster`] speaking [`RegisterOps`],
+//! so consumers switch backends with one argument:
+//!
+//! ```
+//! use fastreg::config::ClusterConfig;
+//! use fastreg::harness::{ClusterBuilder, RegisterOps, Runtime};
+//! use fastreg::protocols::registry::ProtocolId;
+//! use fastreg::types::RegValue;
+//! use fastreg_rt::Affinity;
+//!
+//! let cfg = ClusterConfig::crash_stop(5, 1, 2)?;
+//! let mut cluster = ClusterBuilder::new(cfg)
+//!     .runtime(Runtime::Threads { workers: 2, affinity: Affinity::None })
+//!     .build(ProtocolId::FastCrash)?;
+//! cluster.write_sync(9);
+//! assert_eq!(cluster.read(1), RegValue::Val(9));
+//! cluster.check_atomic()?;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Simnet-only world controls — random scheduling, crash injection, link
+//! faults, trace fingerprints — live on the [`SimControl`] extension
+//! trait, reachable from a [`DynCluster`] via
+//! [`DynCluster::sim_control`] (which returns `None` on the threaded
+//! runtime rather than faking determinism it cannot provide).
 
 use std::fmt;
 
@@ -54,6 +87,8 @@ use fastreg_atomicity::regularity::{check_swmr_regularity, RegularityViolation};
 use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
 use fastreg_atomicity::verdict::Verdict;
 use fastreg_auth::{KeyId, Keychain, SignerHandle, Verifier};
+pub use fastreg_rt::Affinity;
+use fastreg_rt::RtConfig;
 use fastreg_simnet::automaton::Automaton;
 use fastreg_simnet::id::ProcessId;
 use fastreg_simnet::runner::SimConfig;
@@ -65,6 +100,45 @@ use crate::layout::Layout;
 use crate::protocols::registry::{Contract, ProtocolId, Registry};
 use crate::protocols::{abd, fast_byz, fast_crash, fast_regular, maxmin, mwmr, swsr_fast};
 use crate::types::{RegValue, Value};
+
+/// The execution substrate a [`ClusterBuilder`] deploys onto.
+///
+/// Both runtimes run the *same* automata and harvest the *same*
+/// operation histories; they differ in who schedules the steps:
+///
+/// * [`Runtime::Simnet`] — the deterministic discrete-event simulator.
+///   Virtual time, seeded schedules, scripted faults, replayable traces:
+///   the oracle. The resulting [`DynCluster`] also exposes
+///   [`SimControl`] via [`DynCluster::sim_control`].
+/// * [`Runtime::Threads`] — a pool of OS threads connected by channels
+///   (the [`fastreg_rt`] actor runtime). Wall-clock time, real
+///   parallelism, nondeterministic interleavings: the speed demon.
+///   Histories are checked post hoc by the same checkers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Runtime {
+    /// Deterministic discrete-event simulation (the default).
+    #[default]
+    Simnet,
+    /// Real OS threads via [`fastreg_rt`].
+    Threads {
+        /// Worker threads for the actor pool (clamped to the actor
+        /// count; `0` is rejected by [`ClusterBuilder::build`]).
+        workers: usize,
+        /// Core-affinity policy for the workers.
+        affinity: Affinity,
+    },
+}
+
+impl fmt::Display for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Runtime::Simnet => f.write_str("simnet"),
+            Runtime::Threads { workers, affinity } => {
+                write!(f, "threads(workers={workers}, affinity={affinity:?})")
+            }
+        }
+    }
+}
 
 /// A family of automata implementing one register protocol.
 ///
@@ -561,6 +635,11 @@ pub struct ClusterBuilder {
     cfg: ClusterConfig,
     sim: SimConfig,
     seed: Option<u64>,
+    runtime: Runtime,
+    /// Whether [`sim`](Self::sim) replaced the default configuration —
+    /// custom simulation scheduling cannot be honored by the threaded
+    /// runtime, and the builder rejects the combination typed-ly.
+    custom_sim: bool,
 }
 
 impl ClusterBuilder {
@@ -570,6 +649,8 @@ impl ClusterBuilder {
             cfg,
             sim: SimConfig::default(),
             seed: None,
+            runtime: Runtime::Simnet,
+            custom_sim: false,
         }
     }
 
@@ -583,8 +664,20 @@ impl ClusterBuilder {
     /// Replaces the simulation configuration (delay model, trace
     /// capacity, step budget; also the seed, unless
     /// [`seed`](Self::seed) is called, which always wins).
+    ///
+    /// Only meaningful under [`Runtime::Simnet`]:
+    /// [`build`](Self::build) rejects a custom simulation configuration
+    /// combined with [`Runtime::Threads`] (there is no virtual scheduler
+    /// to configure) with [`BuildError::UnsupportedRuntime`].
     pub fn sim(mut self, sim: SimConfig) -> Self {
         self.sim = sim;
+        self.custom_sim = true;
+        self
+    }
+
+    /// Selects the execution substrate (default: [`Runtime::Simnet`]).
+    pub fn runtime(mut self, runtime: Runtime) -> Self {
+        self.runtime = runtime;
         self
     }
 
@@ -596,6 +689,12 @@ impl ClusterBuilder {
     /// the protocol's deployment hypotheses (the paper's feasibility
     /// predicate) — e.g. `R ≥ S/t − 2` for [`ProtocolId::FastCrash`],
     /// `b > 0` for a crash-stop protocol, or `W > 1` for a SWMR one.
+    ///
+    /// Returns [`BuildError::UnsupportedRuntime`] if the requested
+    /// [`Runtime`] cannot honor the rest of the builder — a
+    /// [`Runtime::Threads`] with zero workers, or combined with a custom
+    /// [`sim`](Self::sim) configuration (there is no virtual scheduler
+    /// on real threads to configure).
     pub fn build(self, id: ProtocolId) -> Result<DynCluster, BuildError> {
         if !id.feasible(&self.cfg) {
             return Err(BuildError::Infeasible {
@@ -604,15 +703,40 @@ impl ClusterBuilder {
                 requirement: id.requirement(),
             });
         }
+        if let Runtime::Threads { workers, .. } = self.runtime {
+            if workers == 0 {
+                return Err(BuildError::UnsupportedRuntime {
+                    runtime: self.runtime,
+                    reason: "a threaded runtime needs at least one worker",
+                });
+            }
+            if self.custom_sim {
+                return Err(BuildError::UnsupportedRuntime {
+                    runtime: self.runtime,
+                    reason: "a custom simulation configuration (delay model, step budget) \
+                             only applies to the simnet scheduler",
+                });
+            }
+        }
         Ok(self.build_unchecked(id))
     }
 
     /// Builds the protocol named by `id` *without* the feasibility check
     /// — for experiments that deliberately deploy beyond the bound (the
-    /// lower-bound constructions, the §8 inversion studies).
+    /// lower-bound constructions, the §8 inversion studies). Also skips
+    /// the runtime-compatibility checks: a zero-worker thread pool is
+    /// clamped to one worker, and a custom sim config is silently ignored
+    /// on the threaded path.
     pub fn build_unchecked(self, id: ProtocolId) -> DynCluster {
         let sim = self.resolved_sim();
-        Registry::get(id).instantiate(self.cfg, sim)
+        match self.runtime {
+            Runtime::Simnet => Registry::get(id).instantiate(self.cfg, sim),
+            Runtime::Threads { workers, affinity } => Registry::get(id).instantiate_threads(
+                self.cfg,
+                sim.seed,
+                RtConfig::new(workers.max(1)).affinity(affinity),
+            ),
+        }
     }
 
     /// Switches to compile-time protocol selection.
@@ -653,6 +777,13 @@ pub enum BuildError {
         /// Human-readable statement of the violated requirement.
         requirement: &'static str,
     },
+    /// The requested [`Runtime`] cannot honor the rest of the builder.
+    UnsupportedRuntime {
+        /// The runtime that was requested.
+        runtime: Runtime,
+        /// Why it cannot be honored.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -673,6 +804,9 @@ impl fmt::Display for BuildError {
                 cfg.w,
                 requirement
             ),
+            BuildError::UnsupportedRuntime { runtime, reason } => {
+                write!(f, "runtime {runtime} unsupported here: {reason}")
+            }
         }
     }
 }
@@ -875,13 +1009,20 @@ impl<P: ProtocolFamily> Cluster<P> {
 
 /// The uniform operations surface of an assembled register deployment.
 ///
-/// Implemented by every concrete `Cluster<P>` (static dispatch) and by
-/// [`DynCluster`] (runtime dispatch), so generic drivers and experiment
-/// loops take `&mut dyn RegisterOps` and run unchanged over any
-/// registered protocol. Besides the register operations themselves, the
-/// trait exposes the slice of simulated-world control the workload
-/// drivers need: virtual time, random scheduling, crash injection, and
-/// message statistics.
+/// Implemented by every concrete `Cluster<P>` (static dispatch), by
+/// [`ThreadCluster<P>`](crate::threads::ThreadCluster) (real threads),
+/// and by [`DynCluster`] (runtime dispatch), so generic drivers and
+/// experiment loops take `&mut dyn RegisterOps` and run unchanged over
+/// any registered protocol **on either runtime**. This is the portable
+/// surface: invoke, settle, snapshot, check, plus a clock ([`now_ticks`]
+/// means virtual ticks on the simnet and wall-clock microseconds on
+/// threads) and message statistics.
+///
+/// Controls that only make sense on a simulated world — deterministic
+/// schedulers, crash and partition injection, trace fingerprints — live
+/// on the [`SimControl`] extension trait.
+///
+/// [`now_ticks`]: RegisterOps::now_ticks
 pub trait RegisterOps {
     /// The deployment's configuration.
     fn cfg(&self) -> ClusterConfig;
@@ -955,36 +1096,11 @@ pub trait RegisterOps {
     /// Advances virtual time to `ticks`, delivering everything due.
     fn advance_to_ticks(&mut self, ticks: u64);
     /// One step of the timed scheduler; `false` if nothing is in
-    /// transit.
+    /// transit. On real threads this yields the core to the actor
+    /// threads and reports whether work remains in flight.
     fn step_timed(&mut self) -> bool;
-    /// Delivers pending messages in random order until quiescent;
-    /// returns the number of deliveries.
-    fn run_random_until_quiescent(&mut self) -> u64;
-    /// Delivers one uniformly random deliverable message (pure
-    /// interleaving exploration); `false` if nothing was deliverable.
-    fn step_random(&mut self) -> bool;
     /// Total messages sent so far.
     fn messages_sent(&self) -> u64;
-    /// Crashes server `index` immediately.
-    fn crash_server(&mut self, index: u32);
-    /// Crashes the process at layout address index `proc` immediately —
-    /// the general form fault scripts use (clients may crash too; the
-    /// model allows any number of client crashes).
-    fn crash_proc(&mut self, proc: u32);
-    /// Arms writer `wid` to crash after its next `sends` message sends.
-    fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize);
-    /// Blocks the directed link `from → to`, both named by their layout
-    /// address index (messages on it stay in transit for the timed and
-    /// random schedulers until [`heal_link_procs`](RegisterOps::heal_link_procs)).
-    fn block_link_procs(&mut self, from: u32, to: u32);
-    /// Heals a directed link previously blocked with
-    /// [`block_link_procs`](RegisterOps::block_link_procs).
-    fn heal_link_procs(&mut self, from: u32, to: u32);
-    /// Stable fingerprint of the simulated world's trace so far (see
-    /// [`Trace::fingerprint`](fastreg_simnet::trace::Trace::fingerprint)).
-    /// Equal fingerprints ⇔ event-identical runs; the schedule-exploration
-    /// replay path compares these.
-    fn trace_fingerprint(&self) -> u64;
 
     /// Invokes `write(value)` at writer 0 without settling.
     fn write(&mut self, value: Value) {
@@ -1012,6 +1128,46 @@ pub trait RegisterOps {
             Contract::Regular => Verdict::from_regularity(&self.check_regular()),
         }
     }
+}
+
+/// Simulator-only controls, as an extension of [`RegisterOps`].
+///
+/// Everything here presumes a simulated [`World`]: deterministic
+/// schedulers to drive by hand, crashes and partitions to inject at
+/// exact points, a trace to fingerprint for replay. The threaded runtime
+/// has none of that — the OS schedules, faults are real — so
+/// [`ThreadCluster`](crate::threads::ThreadCluster) implements only
+/// [`RegisterOps`]. Code generic over both runtimes takes
+/// `&mut dyn RegisterOps`; code that steers the schedule (the explorer,
+/// fault scripts, replay) takes `&mut dyn SimControl`, reachable from a
+/// [`DynCluster`] via [`DynCluster::sim_control`].
+pub trait SimControl: RegisterOps {
+    /// Delivers pending messages in random order until quiescent;
+    /// returns the number of deliveries.
+    fn run_random_until_quiescent(&mut self) -> u64;
+    /// Delivers one uniformly random deliverable message (pure
+    /// interleaving exploration); `false` if nothing was deliverable.
+    fn step_random(&mut self) -> bool;
+    /// Crashes server `index` immediately.
+    fn crash_server(&mut self, index: u32);
+    /// Crashes the process at layout address index `proc` immediately —
+    /// the general form fault scripts use (clients may crash too; the
+    /// model allows any number of client crashes).
+    fn crash_proc(&mut self, proc: u32);
+    /// Arms writer `wid` to crash after its next `sends` message sends.
+    fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize);
+    /// Blocks the directed link `from → to`, both named by their layout
+    /// address index (messages on it stay in transit for the timed and
+    /// random schedulers until [`heal_link_procs`](SimControl::heal_link_procs)).
+    fn block_link_procs(&mut self, from: u32, to: u32);
+    /// Heals a directed link previously blocked with
+    /// [`block_link_procs`](SimControl::block_link_procs).
+    fn heal_link_procs(&mut self, from: u32, to: u32);
+    /// Stable fingerprint of the simulated world's trace so far (see
+    /// [`Trace::fingerprint`](fastreg_simnet::trace::Trace::fingerprint)).
+    /// Equal fingerprints ⇔ event-identical runs; the schedule-exploration
+    /// replay path compares these.
+    fn trace_fingerprint(&self) -> u64;
 }
 
 impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
@@ -1083,16 +1239,18 @@ impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
         self.world.step_timed()
     }
 
+    fn messages_sent(&self) -> u64 {
+        self.world.stats().sent
+    }
+}
+
+impl<P: ProtocolFamily> SimControl for Cluster<P> {
     fn run_random_until_quiescent(&mut self) -> u64 {
         self.world.run_random_until_quiescent()
     }
 
     fn step_random(&mut self) -> bool {
         self.world.step_random()
-    }
-
-    fn messages_sent(&self) -> u64 {
-        self.world.stats().sent
     }
 
     fn crash_server(&mut self, index: u32) {
@@ -1124,18 +1282,30 @@ impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
     }
 }
 
-/// A type-erased register deployment: some `Cluster<P>` behind
-/// `dyn` [`RegisterOps`], tagged with the [`ProtocolId`] it runs.
+/// The two erased shapes a [`DynCluster`] can hold: a simulated cluster
+/// (which also answers [`SimControl`]) or a threaded one (portable
+/// surface only).
+enum DynInner {
+    Sim(Box<dyn SimControl + Send>),
+    Threads(Box<dyn RegisterOps + Send>),
+}
+
+/// A type-erased register deployment: some `Cluster<P>` or
+/// [`ThreadCluster<P>`](crate::threads::ThreadCluster) behind `dyn`
+/// [`RegisterOps`], tagged with the [`ProtocolId`] it runs.
 ///
 /// Obtained from [`ClusterBuilder::build`] (or
-/// [`DynCluster::from_cluster`] to erase a cluster built statically).
-/// All operations go through the [`RegisterOps`] impl. The erased
-/// cluster is `Send`, so deployments can migrate between worker threads
-/// — the property the sharded store's batched frontend leans on when it
-/// fans shards across a thread pool.
+/// [`DynCluster::from_cluster`] / [`DynCluster::from_register_ops`] to
+/// erase a cluster built by hand). All portable operations go through
+/// the [`RegisterOps`] impl regardless of runtime; simulator-only
+/// controls are reachable via [`sim_control`](DynCluster::sim_control),
+/// which returns `None` on the threaded runtime. The erased cluster is
+/// `Send`, so deployments can migrate between worker threads — the
+/// property the sharded store's batched frontend leans on when it fans
+/// shards across a thread pool.
 pub struct DynCluster {
     id: ProtocolId,
-    inner: Box<dyn RegisterOps + Send>,
+    inner: DynInner,
 }
 
 impl DynCluster {
@@ -1145,7 +1315,8 @@ impl DynCluster {
         ClusterBuilder::new(cfg)
     }
 
-    /// Erases a statically built cluster, tagging it with `id`.
+    /// Erases a statically built simulated cluster, tagging it with
+    /// `id`.
     pub fn from_cluster<P>(id: ProtocolId, cluster: Cluster<P>) -> Self
     where
         P: ProtocolFamily + 'static,
@@ -1153,7 +1324,19 @@ impl DynCluster {
     {
         DynCluster {
             id,
-            inner: Box::new(cluster),
+            inner: DynInner::Sim(Box::new(cluster)),
+        }
+    }
+
+    /// Erases a deployment that only speaks the portable surface — the
+    /// threaded runtime's entry point ([`sim_control`] will return
+    /// `None` for it).
+    ///
+    /// [`sim_control`]: DynCluster::sim_control
+    pub fn from_register_ops(id: ProtocolId, inner: Box<dyn RegisterOps + Send>) -> Self {
+        DynCluster {
+            id,
+            inner: DynInner::Threads(inner),
         }
     }
 
@@ -1166,120 +1349,124 @@ impl DynCluster {
     pub fn name(&self) -> &'static str {
         self.id.name()
     }
+
+    /// The simulator-only control surface, if this deployment runs on
+    /// the simnet; `None` on the threaded runtime. Portable
+    /// [`RegisterOps`] calls also work on the returned handle (it is a
+    /// supertrait), so schedule-steering code can stay on one borrow.
+    pub fn sim_control(&mut self) -> Option<&mut dyn SimControl> {
+        match &mut self.inner {
+            DynInner::Sim(c) => Some(c.as_mut()),
+            DynInner::Threads(_) => None,
+        }
+    }
+
+    /// Shared-borrow view of the same surface, for read-only queries
+    /// like [`trace_fingerprint`](SimControl::trace_fingerprint).
+    pub fn sim_control_ref(&self) -> Option<&dyn SimControl> {
+        match &self.inner {
+            DynInner::Sim(c) => Some(c.as_ref()),
+            DynInner::Threads(_) => None,
+        }
+    }
+
+    /// The portable surface, shared borrow.
+    fn ops(&self) -> &dyn RegisterOps {
+        match &self.inner {
+            DynInner::Sim(c) => c.as_ref(),
+            DynInner::Threads(c) => c.as_ref(),
+        }
+    }
+
+    /// The portable surface, unique borrow.
+    fn ops_mut(&mut self) -> &mut dyn RegisterOps {
+        match &mut self.inner {
+            DynInner::Sim(c) => c.as_mut(),
+            DynInner::Threads(c) => c.as_mut(),
+        }
+    }
 }
 
 impl fmt::Debug for DynCluster {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("DynCluster")
             .field("id", &self.id)
-            .field("cfg", &self.inner.cfg())
+            .field("cfg", &self.ops().cfg())
             .finish_non_exhaustive()
     }
 }
 
 impl RegisterOps for DynCluster {
     fn cfg(&self) -> ClusterConfig {
-        self.inner.cfg()
+        self.ops().cfg()
     }
 
     fn layout(&self) -> Layout {
-        self.inner.layout()
+        self.ops().layout()
     }
 
     fn write_by(&mut self, wid: u32, value: Value) {
-        self.inner.write_by(wid, value);
+        self.ops_mut().write_by(wid, value);
     }
 
     fn read_async(&mut self, index: u32) {
-        self.inner.read_async(index);
+        self.ops_mut().read_async(index);
     }
 
     fn settle(&mut self) {
-        self.inner.settle();
+        self.ops_mut().settle();
     }
 
     fn try_settle(&mut self) -> Result<u64, QuiescenceError> {
-        self.inner.try_settle()
+        self.ops_mut().try_settle()
     }
 
     fn read(&mut self, index: u32) -> RegValue {
-        self.inner.read(index)
+        self.ops_mut().read(index)
     }
 
     fn snapshot(&self) -> History {
-        self.inner.snapshot()
+        self.ops().snapshot()
     }
 
     fn ops_recorded(&self) -> u64 {
-        self.inner.ops_recorded()
+        self.ops().ops_recorded()
     }
 
     fn ops_completed(&self) -> u64 {
-        self.inner.ops_completed()
+        self.ops().ops_completed()
     }
 
     fn client_busy(&self, proc: u32) -> bool {
-        self.inner.client_busy(proc)
+        self.ops().client_busy(proc)
     }
 
     fn check_atomic(&self) -> Result<(), AtomicityViolation> {
-        self.inner.check_atomic()
+        self.ops().check_atomic()
     }
 
     fn check_linearizable(&self) -> Result<bool, LinCheckError> {
-        self.inner.check_linearizable()
+        self.ops().check_linearizable()
     }
 
     fn check_regular(&self) -> Result<(), RegularityViolation> {
-        self.inner.check_regular()
+        self.ops().check_regular()
     }
 
     fn now_ticks(&self) -> u64 {
-        self.inner.now_ticks()
+        self.ops().now_ticks()
     }
 
     fn advance_to_ticks(&mut self, ticks: u64) {
-        self.inner.advance_to_ticks(ticks);
+        self.ops_mut().advance_to_ticks(ticks);
     }
 
     fn step_timed(&mut self) -> bool {
-        self.inner.step_timed()
-    }
-
-    fn run_random_until_quiescent(&mut self) -> u64 {
-        self.inner.run_random_until_quiescent()
-    }
-
-    fn step_random(&mut self) -> bool {
-        self.inner.step_random()
+        self.ops_mut().step_timed()
     }
 
     fn messages_sent(&self) -> u64 {
-        self.inner.messages_sent()
-    }
-
-    fn crash_server(&mut self, index: u32) {
-        self.inner.crash_server(index);
-    }
-
-    fn crash_proc(&mut self, proc: u32) {
-        self.inner.crash_proc(proc);
-    }
-
-    fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize) {
-        self.inner.arm_writer_crash_after_sends(wid, sends);
-    }
-
-    fn block_link_procs(&mut self, from: u32, to: u32) {
-        self.inner.block_link_procs(from, to);
-    }
-
-    fn heal_link_procs(&mut self, from: u32, to: u32) {
-        self.inner.heal_link_procs(from, to);
-    }
-
-    fn trace_fingerprint(&self) -> u64 {
-        self.inner.trace_fingerprint()
+        self.ops().messages_sent()
     }
 }
 
@@ -1405,7 +1592,10 @@ mod tests {
             id,
             cfg: got,
             requirement,
-        } = err.clone();
+        } = err.clone()
+        else {
+            panic!("expected Infeasible, got {err:?}");
+        };
         assert_eq!(id, ProtocolId::FastCrash);
         assert_eq!(got, cfg);
         assert!(!requirement.is_empty());
@@ -1418,10 +1608,11 @@ mod tests {
         let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
         let render = |b: ClusterBuilder| {
             let mut c = b.build(ProtocolId::FastCrash).unwrap();
-            c.write(1);
-            c.read_async(0);
-            c.run_random_until_quiescent();
-            c.snapshot().render()
+            let sim = c.sim_control().expect("simnet is the default runtime");
+            sim.write(1);
+            sim.read_async(0);
+            sim.run_random_until_quiescent();
+            sim.snapshot().render()
         };
         // .seed(7) then .sim(..) must behave exactly like .sim(..).seed(7):
         // the explicit seed survives a later sim() replacement.
@@ -1441,10 +1632,13 @@ mod tests {
             .typed()
             .build();
         let mut typed = DynCluster::from_cluster(ProtocolId::FastCrash, typed);
-        typed.write(1);
-        typed.read_async(0);
-        typed.run_random_until_quiescent();
-        assert_eq!(typed.snapshot().render(), seed_then_sim);
+        let sim = typed
+            .sim_control()
+            .expect("erased Cluster keeps SimControl");
+        sim.write(1);
+        sim.read_async(0);
+        sim.run_random_until_quiescent();
+        assert_eq!(sim.snapshot().render(), seed_then_sim);
     }
 
     #[test]
@@ -1519,6 +1713,9 @@ mod tests {
         let layout = c.layout();
         let writer = layout.writer(0).index();
         let s0 = layout.server(0).index();
+        // The sim handle also answers every portable call (supertrait),
+        // so the whole schedule-steering block stays on one borrow.
+        let c = c.sim_control().expect("built on the simnet");
         // Block the writer's link to server 0: the write still completes
         // (quorum 4 of 5) but server 0 never hears it.
         c.block_link_procs(writer, s0);
@@ -1542,10 +1739,11 @@ mod tests {
                 .seed(seed)
                 .build(ProtocolId::FastCrash)
                 .unwrap();
-            c.write(1);
-            c.read_async(1);
-            c.run_random_until_quiescent();
-            c.trace_fingerprint()
+            let sim = c.sim_control().unwrap();
+            sim.write(1);
+            sim.read_async(1);
+            sim.run_random_until_quiescent();
+            sim.trace_fingerprint()
         };
         assert_eq!(fingerprint_of(9), fingerprint_of(9));
         assert_ne!(fingerprint_of(9), fingerprint_of(10));
@@ -1601,10 +1799,13 @@ mod tests {
             .unwrap();
         assert_eq!(c.cfg(), cfg);
         assert_eq!(c.layout(), Layout::of(&cfg));
-        c.crash_server(4); // t = 1 tolerated
-        c.arm_writer_crash_after_sends(0, 3);
-        c.write(1);
-        c.run_random_until_quiescent();
+        {
+            let sim = c.sim_control().expect("built on the simnet");
+            sim.crash_server(4); // t = 1 tolerated
+            sim.arm_writer_crash_after_sends(0, 3);
+            sim.write(1);
+            sim.run_random_until_quiescent();
+        }
         let t = c.now_ticks();
         c.advance_to_ticks(t + 10);
         assert!(c.now_ticks() >= t + 10);

@@ -23,10 +23,13 @@
 //!   and the runtime [`protocols::registry`] (ids ⇄ names ⇄ feasibility
 //!   ⇄ constructors).
 //! * [`byz`] — malicious server strategies (protocol-aware).
-//! * [`harness`] — cluster assembly over the simulator: the
-//!   [`harness::ClusterBuilder`] fluent API, the uniform
-//!   [`harness::RegisterOps`] operations trait, and the type-erased
+//! * [`harness`] — cluster assembly: the [`harness::ClusterBuilder`]
+//!   fluent API (with its [`harness::Runtime`] switch), the portable
+//!   [`harness::RegisterOps`] operations trait, the simulator-only
+//!   [`harness::SimControl`] extension, and the type-erased
 //!   [`harness::DynCluster`].
+//! * [`threads`] — the same protocols assembled over the real-threads
+//!   runtime ([`fastreg_rt`]), histories checked post hoc.
 //!
 //! ## Quickstart
 //!
@@ -55,4 +58,5 @@ pub mod layout;
 pub mod predicate;
 pub mod protocols;
 pub mod quorum;
+pub mod threads;
 pub mod types;

@@ -40,6 +40,7 @@
 use std::fmt;
 use std::str::FromStr;
 
+use fastreg_rt::RtConfig;
 use fastreg_simnet::runner::SimConfig;
 
 use crate::config::ClusterConfig;
@@ -47,6 +48,7 @@ use crate::harness::{
     Abd, Cluster, DynCluster, FastByz, FastCrash, FastRegular, MaxMin, MwmrAbd, MwmrNaiveFast,
     ProtocolFamily, SwsrFast, TypedClusterBuilder,
 };
+use crate::threads::ThreadCluster;
 
 /// Runtime name of one register protocol implementation.
 ///
@@ -251,6 +253,7 @@ pub struct ProtocolEntry {
     /// The protocol this entry constructs.
     pub id: ProtocolId,
     build: fn(ProtocolId, ClusterConfig, SimConfig) -> DynCluster,
+    build_threads: fn(ProtocolId, ClusterConfig, u64, RtConfig) -> DynCluster,
 }
 
 impl ProtocolEntry {
@@ -263,6 +266,16 @@ impl ProtocolEntry {
     pub fn instantiate(&self, cfg: ClusterConfig, sim: SimConfig) -> DynCluster {
         (self.build)(self.id, cfg, sim)
     }
+
+    /// Instantiates the protocol over the real-threads runtime, again
+    /// without a feasibility check. `seed` feeds the protocol context
+    /// (key material for the Byzantine family); there is no schedule to
+    /// seed. Prefer
+    /// [`ClusterBuilder::runtime`](crate::harness::ClusterBuilder::runtime)
+    /// + `build`, which also validates the runtime combination.
+    pub fn instantiate_threads(&self, cfg: ClusterConfig, seed: u64, rt: RtConfig) -> DynCluster {
+        (self.build_threads)(self.id, cfg, seed, rt)
+    }
 }
 
 fn build_dyn<P>(id: ProtocolId, cfg: ClusterConfig, sim: SimConfig) -> DynCluster
@@ -274,38 +287,54 @@ where
     DynCluster::from_cluster(id, cluster)
 }
 
+fn build_threads_dyn<P>(id: ProtocolId, cfg: ClusterConfig, seed: u64, rt: RtConfig) -> DynCluster
+where
+    P: ProtocolFamily + 'static,
+{
+    let cluster: ThreadCluster<P> = ThreadCluster::spawn(cfg, seed, rt);
+    DynCluster::from_register_ops(id, Box::new(cluster))
+}
+
 static REGISTRY: [ProtocolEntry; 8] = [
     ProtocolEntry {
         id: ProtocolId::FastCrash,
         build: build_dyn::<FastCrash>,
+        build_threads: build_threads_dyn::<FastCrash>,
     },
     ProtocolEntry {
         id: ProtocolId::FastByz,
         build: build_dyn::<FastByz>,
+        build_threads: build_threads_dyn::<FastByz>,
     },
     ProtocolEntry {
         id: ProtocolId::Abd,
         build: build_dyn::<Abd>,
+        build_threads: build_threads_dyn::<Abd>,
     },
     ProtocolEntry {
         id: ProtocolId::MaxMin,
         build: build_dyn::<MaxMin>,
+        build_threads: build_threads_dyn::<MaxMin>,
     },
     ProtocolEntry {
         id: ProtocolId::FastRegular,
         build: build_dyn::<FastRegular>,
+        build_threads: build_threads_dyn::<FastRegular>,
     },
     ProtocolEntry {
         id: ProtocolId::SwsrFast,
         build: build_dyn::<SwsrFast>,
+        build_threads: build_threads_dyn::<SwsrFast>,
     },
     ProtocolEntry {
         id: ProtocolId::MwmrAbd,
         build: build_dyn::<MwmrAbd>,
+        build_threads: build_threads_dyn::<MwmrAbd>,
     },
     ProtocolEntry {
         id: ProtocolId::MwmrNaiveFast,
         build: build_dyn::<MwmrNaiveFast>,
+        build_threads: build_threads_dyn::<MwmrNaiveFast>,
     },
 ];
 

@@ -1,0 +1,328 @@
+//! Cluster assembly over the real-threads runtime.
+//!
+//! A [`ThreadCluster`] wires the same writer/reader/server automata a
+//! [`Cluster`](crate::harness::Cluster) uses into a
+//! [`fastreg_rt::ActorPool`] instead of a simulated
+//! [`World`](fastreg_simnet::world::World): actors run on OS threads,
+//! messages are real channel sends, and time is wall-clock microseconds.
+//! It implements the portable [`RegisterOps`] surface — invoke, settle,
+//! snapshot, check — so every generic driver runs unchanged; it does
+//! *not* implement [`SimControl`](crate::harness::SimControl), because
+//! there is no virtual scheduler to step, link to block, or trace to
+//! fingerprint. Runs are nondeterministic; the harvested history is
+//! judged post hoc by the same checkers the simulator uses.
+//!
+//! Construction goes through
+//! [`ClusterBuilder::runtime`](crate::harness::ClusterBuilder::runtime)
+//! with [`Runtime::Threads`](crate::harness::Runtime::Threads); this
+//! module is the backend, not the entry point.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+use fastreg_atomicity::history::{History, SharedHistory};
+use fastreg_atomicity::linearizability::{check_linearizable, LinCheckError};
+use fastreg_atomicity::regularity::{check_swmr_regularity, RegularityViolation};
+use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
+use fastreg_rt::{ActorPool, RtConfig};
+use fastreg_simnet::world::QuiescenceError;
+
+use crate::config::ClusterConfig;
+use crate::harness::{ProtocolFamily, RegisterOps};
+use crate::layout::Layout;
+use crate::types::{RegValue, Value};
+
+/// How long a [`ThreadCluster`] waits for outstanding operations before
+/// declaring the deployment stalled — generous because CI containers can
+/// be single-core and heavily shared.
+const SETTLE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// A register deployment running on real OS threads.
+///
+/// The wall-clock sibling of [`Cluster`](crate::harness::Cluster): same
+/// automata, same [`SharedHistory`] harvesting, same checkers — but the
+/// scheduler is the operating system, so [`settle`](RegisterOps::settle)
+/// waits on real time rather than stepping a virtual queue.
+///
+/// Unlike the simulator, the window between injecting an invocation and
+/// the actor recording it is real: the history's `client_busy` flag lags.
+/// The cluster therefore tracks issued counts per client itself and
+/// reports a client busy from the moment of injection — the conservative
+/// flag that keeps closed-loop drivers from double-invoking a client
+/// (the automata assert the paper's well-formedness and would panic).
+pub struct ThreadCluster<P: ProtocolFamily> {
+    cfg: ClusterConfig,
+    layout: Layout,
+    history: SharedHistory,
+    pool: ActorPool<P::Msg>,
+    /// Total operations injected.
+    issued: u64,
+    /// Operations injected per client address.
+    issued_by: BTreeMap<u32, u64>,
+}
+
+impl<P: ProtocolFamily> ThreadCluster<P> {
+    /// Spawns the deployment: writers, readers, then servers, in layout
+    /// order, partitioned over the pool's workers. `seed` feeds the
+    /// protocol context (key material for the Byzantine family); there
+    /// is no schedule to seed.
+    pub fn spawn(cfg: ClusterConfig, seed: u64, rt: RtConfig) -> Self {
+        let layout = Layout::of(&cfg);
+        let history = SharedHistory::new();
+        let mut ctx = P::make_ctx(&cfg, seed);
+        let mut automata = Vec::with_capacity((cfg.w + cfg.r + cfg.s) as usize);
+        for i in 0..cfg.w {
+            automata.push(P::writer(&cfg, layout, i, history.clone(), &mut ctx));
+        }
+        for i in 0..cfg.r {
+            automata.push(P::reader(&cfg, layout, i, history.clone(), &mut ctx));
+        }
+        for j in 0..cfg.s {
+            automata.push(P::server(&cfg, layout, j, &mut ctx));
+        }
+        ThreadCluster {
+            cfg,
+            layout,
+            history,
+            pool: ActorPool::spawn(automata, rt),
+            issued: 0,
+            issued_by: BTreeMap::new(),
+        }
+    }
+
+    /// Number of worker threads actually running.
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Outstanding operations of client `addr` (issued minus completed).
+    fn outstanding(&self, addr: u32) -> u64 {
+        let issued = self.issued_by.get(&addr).copied().unwrap_or(0);
+        issued.saturating_sub(self.history.completed_by(addr))
+    }
+
+    /// Blocks until client `addr` has no outstanding operation — the
+    /// well-formedness gate: the paper's automata assert that a client
+    /// never invokes while an operation is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the client's outstanding operation does not complete
+    /// within the settle timeout (the deployment is stalled).
+    fn await_client_idle(&self, addr: u32) {
+        let deadline = Instant::now() + SETTLE_TIMEOUT;
+        while self.outstanding(addr) > 0 {
+            assert!(
+                Instant::now() < deadline,
+                "client {addr} still busy after {SETTLE_TIMEOUT:?}: deployment stalled"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    fn record_issue(&mut self, addr: u32) {
+        self.issued += 1;
+        *self.issued_by.entry(addr).or_insert(0) += 1;
+    }
+}
+
+impl<P: ProtocolFamily> RegisterOps for ThreadCluster<P> {
+    fn cfg(&self) -> ClusterConfig {
+        self.cfg
+    }
+
+    fn layout(&self) -> Layout {
+        self.layout
+    }
+
+    fn write_by(&mut self, wid: u32, value: Value) {
+        let w = self.layout.writer(wid);
+        self.await_client_idle(w.index());
+        self.record_issue(w.index());
+        self.pool.inject(w, P::invoke_write(value));
+    }
+
+    fn read_async(&mut self, index: u32) {
+        let r = self.layout.reader(index);
+        self.await_client_idle(r.index());
+        self.record_issue(r.index());
+        self.pool.inject(r, P::invoke_read());
+    }
+
+    fn settle(&mut self) {
+        if let Err(e) = RegisterOps::try_settle(self) {
+            panic!(
+                "threaded deployment did not settle: {} of {} ops outstanding after {:?} ({e})",
+                e.in_transit, self.issued, SETTLE_TIMEOUT
+            );
+        }
+    }
+
+    fn try_settle(&mut self) -> Result<u64, QuiescenceError> {
+        let deadline = Instant::now() + SETTLE_TIMEOUT;
+        let mut polls = 0u64;
+        while (self.history.completed_count() as u64) < self.issued {
+            if Instant::now() >= deadline {
+                return Err(QuiescenceError {
+                    steps: polls,
+                    in_transit: (self.issued - self.history.completed_count() as u64) as usize,
+                });
+            }
+            polls += 1;
+            std::thread::yield_now();
+        }
+        Ok(polls)
+    }
+
+    fn read(&mut self, index: u32) -> RegValue {
+        let addr = self.layout.reader(index).index();
+        // Readers only read, so their per-client completion count is a
+        // completed-reads count — the same cursor the simulated read uses.
+        let before = self.history.completed_by(addr);
+        RegisterOps::read_async(self, index);
+        let deadline = Instant::now() + SETTLE_TIMEOUT;
+        while self.history.completed_by(addr) <= before {
+            assert!(
+                Instant::now() < deadline,
+                "read by reader {index} did not complete"
+            );
+            std::thread::yield_now();
+        }
+        let snap = self.history.snapshot();
+        let op = snap
+            .reads()
+            .filter(|r| r.proc == addr && r.is_complete())
+            .nth(before as usize)
+            .unwrap_or_else(|| panic!("read by reader {index} not in the harvested history"));
+        op.returned.expect("complete reads carry a value")
+    }
+
+    fn snapshot(&self) -> History {
+        self.history.snapshot()
+    }
+
+    fn ops_recorded(&self) -> u64 {
+        // Issued is the honest count here: an injected invocation is an
+        // operation the environment started, even if the actor has not
+        // recorded it yet.
+        self.issued.max(self.history.recorded_count() as u64)
+    }
+
+    fn ops_completed(&self) -> u64 {
+        self.history.completed_count() as u64
+    }
+
+    fn client_busy(&self, proc: u32) -> bool {
+        self.outstanding(proc) > 0
+    }
+
+    fn check_atomic(&self) -> Result<(), AtomicityViolation> {
+        check_swmr_atomicity(&self.snapshot())
+    }
+
+    fn check_linearizable(&self) -> Result<bool, LinCheckError> {
+        check_linearizable(&self.snapshot())
+    }
+
+    fn check_regular(&self) -> Result<(), RegularityViolation> {
+        check_swmr_regularity(&self.snapshot())
+    }
+
+    fn now_ticks(&self) -> u64 {
+        self.pool.now_ticks()
+    }
+
+    fn advance_to_ticks(&mut self, ticks: u64) {
+        // Real time advances by itself; sleeping the remainder gives the
+        // actor threads the core — important on single-core hosts.
+        let now = self.pool.now_ticks();
+        if ticks > now {
+            std::thread::sleep(Duration::from_micros(ticks - now));
+        }
+    }
+
+    fn step_timed(&mut self) -> bool {
+        // The OS is the scheduler: "one step" means yielding it the core
+        // while work remains in flight.
+        if (self.history.completed_count() as u64) < self.issued {
+            std::thread::yield_now();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn messages_sent(&self) -> u64 {
+        self.pool.messages_sent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{Abd, FastByz, FastCrash};
+
+    #[test]
+    fn fast_crash_over_threads_end_to_end() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: ThreadCluster<FastCrash> = ThreadCluster::spawn(cfg, 7, RtConfig::new(2));
+        assert_eq!(c.read(0), RegValue::Bottom);
+        c.write_sync(1);
+        assert_eq!(c.read(0), RegValue::Val(1));
+        c.write_sync(2);
+        assert_eq!(c.read(1), RegValue::Val(2));
+        c.check_atomic().unwrap();
+        assert!(c.messages_sent() > 0);
+        assert_eq!(c.ops_completed(), 5);
+    }
+
+    #[test]
+    fn byzantine_family_runs_over_threads() {
+        // The signing context must wire correctly outside the simulator.
+        let cfg = ClusterConfig::byzantine(6, 1, 1, 1).unwrap();
+        let mut c: ThreadCluster<FastByz> = ThreadCluster::spawn(cfg, 7, RtConfig::new(2));
+        c.write_sync(5);
+        assert_eq!(c.read(0), RegValue::Val(5));
+        c.check_atomic().unwrap();
+    }
+
+    #[test]
+    fn busy_flag_rises_at_injection_not_at_recording() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: ThreadCluster<Abd> = ThreadCluster::spawn(cfg, 7, RtConfig::new(1));
+        let w = c.layout().writer(0).index();
+        assert!(!c.client_busy(w));
+        c.write(9);
+        // Immediately after inject — before the writer thread can have
+        // recorded anything — the conservative flag is already up.
+        assert!(c.client_busy(w));
+        c.settle();
+        assert!(!c.client_busy(w));
+    }
+
+    #[test]
+    fn sequential_writes_respect_well_formedness() {
+        // Back-to-back writes without an explicit settle: the second
+        // invocation must wait for the first, never panic the automaton.
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: ThreadCluster<FastCrash> = ThreadCluster::spawn(cfg, 7, RtConfig::new(2));
+        for v in 1..=20 {
+            c.write(v);
+        }
+        c.settle();
+        assert_eq!(c.ops_completed(), 20);
+        c.check_atomic().unwrap();
+        c.check_regular().unwrap();
+        assert_eq!(c.check_linearizable(), Ok(true));
+    }
+
+    #[test]
+    fn wall_clock_advances_and_sleeps() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: ThreadCluster<FastCrash> = ThreadCluster::spawn(cfg, 7, RtConfig::new(1));
+        let t = c.now_ticks();
+        c.advance_to_ticks(t + 2_000);
+        assert!(c.now_ticks() >= t + 2_000);
+        assert!(!c.step_timed(), "idle deployment has nothing in flight");
+    }
+}

@@ -150,7 +150,10 @@ impl Shard {
         let mut digest = DigestWriter::new();
         for (key, cluster) in &self.registers {
             digest.write_u64(*key);
-            digest.write_u64(cluster.trace_fingerprint());
+            let sim = cluster
+                .sim_control_ref()
+                .expect("store registers run on the simnet runtime");
+            digest.write_u64(sim.trace_fingerprint());
         }
         digest.finish()
     }

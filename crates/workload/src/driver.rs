@@ -295,32 +295,8 @@ mod tests {
             self.steps += 1;
             self.inner.step_timed()
         }
-        fn run_random_until_quiescent(&mut self) -> u64 {
-            self.inner.run_random_until_quiescent()
-        }
-        fn step_random(&mut self) -> bool {
-            self.inner.step_random()
-        }
         fn messages_sent(&self) -> u64 {
             self.inner.messages_sent()
-        }
-        fn crash_server(&mut self, index: u32) {
-            self.inner.crash_server(index);
-        }
-        fn crash_proc(&mut self, proc: u32) {
-            self.inner.crash_proc(proc);
-        }
-        fn arm_writer_crash_after_sends(&mut self, wid: u32, sends: usize) {
-            self.inner.arm_writer_crash_after_sends(wid, sends);
-        }
-        fn block_link_procs(&mut self, from: u32, to: u32) {
-            self.inner.block_link_procs(from, to);
-        }
-        fn heal_link_procs(&mut self, from: u32, to: u32) {
-            self.inner.heal_link_procs(from, to);
-        }
-        fn trace_fingerprint(&self) -> u64 {
-            self.inner.trace_fingerprint()
         }
     }
 

@@ -9,7 +9,7 @@ use fastreg::byz::{
     CounterAbuser, Forger, SeenInflater, StaleOldest, StaleReplayer, TwoFacedLoseWrite,
 };
 use fastreg::config::ClusterConfig;
-use fastreg::harness::{Cluster, ClusterBuilder, FastByz, FastCrash, ProtocolFamily, RegisterOps};
+use fastreg::harness::{Cluster, ClusterBuilder, FastByz, FastCrash, ProtocolFamily};
 use fastreg::predicate::{predicate_witness, predicate_witness_bruteforce, PredicateModel};
 use fastreg::protocols::fast_crash;
 use fastreg::protocols::registry::ProtocolId;
@@ -27,9 +27,9 @@ use crate::driver::{run_closed_loop, WorkloadSpec};
 use crate::table::Table;
 
 /// The experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 16] = [
+pub const EXPERIMENT_IDS: [&str; 17] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16",
+    "e16", "e17",
 ];
 
 /// The protocols experiment `id` exercises — the ground truth for the
@@ -59,6 +59,8 @@ pub fn experiment_protocols(id: &str) -> &'static [ProtocolId] {
         "e15" => &ProtocolId::ALL,
         // E16 backs store shards with these protocols (incl. mixed).
         "e16" => &[ProtocolId::FastCrash, ProtocolId::Abd, ProtocolId::FastByz],
+        // E17 runs these on the real-threads runtime.
+        "e17" => &[ProtocolId::FastCrash, ProtocolId::Abd, ProtocolId::FastByz],
         _ => &[],
     }
 }
@@ -409,6 +411,7 @@ pub fn e7_regular_tradeoff(seeds: u64) -> Table {
             .seed(seed)
             .build(ProtocolId::FastRegular)
             .expect("fast-regular is feasible at t < S/2");
+        let c = c.sim_control().expect("E7 steers the simnet schedule");
         c.arm_writer_crash_after_sends(0, (seed % 6) as usize);
         c.write(1);
         for i in 0..cfg.r {
@@ -679,6 +682,7 @@ pub fn e11_single_reader(seeds: u64) -> Table {
                 .seed(seed)
                 .build(ProtocolId::SwsrFast)
                 .expect("SWSR is feasible at t < S/2, R = 1");
+            let c = c.sim_control().expect("E11 steers the simnet schedule");
             c.arm_writer_crash_after_sends(0, (seed % (s as u64 + 1)) as usize);
             c.write(1);
             for _ in 0..3 {
@@ -1117,6 +1121,103 @@ pub fn e16_store(headline_ops: u64, threads: usize) -> Table {
             ),
         ]);
     }
+    table
+}
+
+/// E17 — the real-threads runtime: the same register protocols as
+/// actors on OS threads, driven by the same closed-loop workload, with
+/// the harvested wall-clock histories judged post hoc by the same
+/// checkers the simulator uses. Reports throughput (ops/s) and
+/// operation-latency percentiles (µs) across a worker-count sweep.
+///
+/// `assert_scaling` additionally requires the widest sweep point to beat
+/// the 1-worker baseline on throughput for at least one protocol — only
+/// meaningful on a multi-core host, so callers keep it off in CI and in
+/// quick mode (CI containers here are single-core).
+pub fn e17_rt_throughput(n_ops: u64, workers: &[usize], assert_scaling: bool) -> Table {
+    use fastreg::harness::{Affinity, Runtime};
+    use std::time::Instant;
+
+    let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("valid");
+    let byz_cfg = ClusterConfig::byzantine(6, 1, 1, 1).expect("valid");
+    let mut table = Table::new(vec![
+        "protocol",
+        "workers",
+        "n_ops",
+        "completed",
+        "wall ms",
+        "ops/s",
+        "read p50/p95 µs",
+        "write p50/p95 µs",
+        "msgs/op",
+        "verdict",
+    ]);
+    let mut scaled_up = false;
+    for &id in experiment_protocols("e17") {
+        let cfg = if id == ProtocolId::FastByz {
+            byz_cfg
+        } else {
+            cfg
+        };
+        let mut baseline_ops_per_s = None;
+        for &w in workers {
+            let mut c = ClusterBuilder::new(cfg)
+                .seed(17)
+                .runtime(Runtime::Threads {
+                    workers: w,
+                    affinity: Affinity::None,
+                })
+                .build(id)
+                .expect("E17 deployments are feasible and thread-compatible");
+            let spec = WorkloadSpec {
+                n_ops,
+                write_fraction: 0.2,
+                think_time: 0,
+                seed: 17,
+            };
+            let start = Instant::now();
+            let rep = run_closed_loop(&mut c, &spec)
+                .unwrap_or_else(|e| panic!("E17: {id} stalled at workers={w}: {e}"));
+            let wall_s = start.elapsed().as_secs_f64();
+            assert_eq!(
+                rep.breakdown.completed, n_ops,
+                "E17: {id} must complete every op at workers={w}"
+            );
+            assert_eq!(rep.breakdown.incomplete, 0);
+            // Post-hoc contract check: the run was wall-clock
+            // nondeterministic, the harvested history is still a history.
+            check_swmr_atomicity(&rep.history)
+                .unwrap_or_else(|v| panic!("E17: {id} not atomic at workers={w}: {v}"));
+            let ops_per_s = n_ops as f64 / wall_s.max(1e-9);
+            match baseline_ops_per_s {
+                None => baseline_ops_per_s = Some(ops_per_s),
+                Some(base) if ops_per_s > base => scaled_up = true,
+                Some(_) => {}
+            }
+            let fmt_lat = |l: &Option<crate::metrics::LatencyStats>| {
+                l.as_ref()
+                    .map(|s| format!("{}/{}", s.p50, s.p95))
+                    .unwrap_or_else(|| "-".into())
+            };
+            table.row(vec![
+                id.name().into(),
+                w.to_string(),
+                n_ops.to_string(),
+                rep.breakdown.completed.to_string(),
+                format!("{:.1}", wall_s * 1e3),
+                format!("{ops_per_s:.0}"),
+                fmt_lat(&rep.breakdown.reads),
+                fmt_lat(&rep.breakdown.writes),
+                format!("{:.1}", rep.messages_per_op()),
+                "atomic".into(),
+            ]);
+        }
+    }
+    assert!(
+        !assert_scaling || scaled_up,
+        "E17: no protocol's throughput improved over the 1-worker baseline \
+         (expected on a multi-core host; disable the scaling assert on 1 core)"
+    );
     table
 }
 

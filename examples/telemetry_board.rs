@@ -34,8 +34,12 @@ fn main() {
         .build(ProtocolId::FastCrash)
         .expect("4 < 7/1 - 2: inside the fast bound");
 
-    // One replica is down for the whole scenario.
-    cluster.crash_server(6);
+    // One replica is down for the whole scenario. Fault injection is a
+    // simulator-only control, so it goes through the SimControl surface.
+    cluster
+        .sim_control()
+        .expect("this scenario runs on the simnet")
+        .crash_server(6);
     println!("replica s7 is down; the register does not care (t = 1)");
 
     // Dashboards poll, the gateway publishes: a 20%-write closed loop.
@@ -64,7 +68,10 @@ fn main() {
 
     // The gateway dies mid-publish; dashboards keep refreshing and stay
     // consistent with each other.
-    cluster.arm_writer_crash_after_sends(0, 2);
+    cluster
+        .sim_control()
+        .expect("this scenario runs on the simnet")
+        .arm_writer_crash_after_sends(0, 2);
     cluster.write(999_999);
     for i in 0..cfg.r {
         cluster.read_async(i);

@@ -18,6 +18,9 @@
 //!
 //! * [`fastreg`] — the paper's protocols (Fig. 2, Fig. 5) and baselines.
 //! * [`fastreg_simnet`] — deterministic discrete-event simulation substrate.
+//! * [`fastreg_rt`] — the real-threads actor runtime (wall-clock sibling
+//!   of the simnet; pick one with
+//!   [`Runtime`](fastreg::harness::Runtime)).
 //! * [`fastreg_auth`] — simulated digital signatures (§6 substitution).
 //! * [`fastreg_atomicity`] — atomicity / linearizability / regularity checkers.
 //! * [`fastreg_adversary`] — the lower-bound proofs (§5, §6.2, §7) as code.
@@ -30,6 +33,7 @@ pub use fastreg;
 pub use fastreg_adversary;
 pub use fastreg_atomicity;
 pub use fastreg_auth;
+pub use fastreg_rt;
 pub use fastreg_simnet;
 pub use fastreg_store;
 pub use fastreg_workload;
@@ -58,12 +62,14 @@ pub use fastreg_workload;
 pub mod prelude {
     pub use fastreg::config::ClusterConfig;
     pub use fastreg::harness::{
-        Abd, BuildError, Cluster, ClusterBuilder, DynCluster, FastByz, FastCrash, FastRegular,
-        MaxMin, MwmrAbd, MwmrNaiveFast, ProtocolFamily, RegisterOps, SwsrFast, TypedClusterBuilder,
+        Abd, Affinity, BuildError, Cluster, ClusterBuilder, DynCluster, FastByz, FastCrash,
+        FastRegular, MaxMin, MwmrAbd, MwmrNaiveFast, ProtocolFamily, RegisterOps, Runtime,
+        SimControl, SwsrFast, TypedClusterBuilder,
     };
     pub use fastreg::protocols::registry::{
         Contract, ProtocolEntry, ProtocolId, Registry, UnknownProtocol,
     };
+    pub use fastreg::threads::ThreadCluster;
     pub use fastreg::types::{ClientId, RegValue, Role, TaggedValue, Timestamp, Value};
     pub use fastreg_atomicity::history::History;
     pub use fastreg_atomicity::linearizability::check_linearizable;

@@ -111,6 +111,7 @@ fn infeasible_configs_are_rejected_at_build_with_a_typed_error() {
                 assert_eq!(got_cfg, cfg);
                 assert!(!requirement.is_empty());
             }
+            Err(other) => panic!("{id}: expected Infeasible, got {other:?} ({why})"),
             Ok(_) => panic!("{id}: build must reject ({why})"),
         }
     }

@@ -1,0 +1,250 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the slice of criterion's API the workspace's benches use —
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`],
+//! [`Bencher::iter`], [`BenchmarkId`] and the [`criterion_group!`] /
+//! [`criterion_main!`] macros — with two modes:
+//!
+//! * **test mode** (`cargo bench -- --test`): every benchmark body runs
+//!   exactly once and nothing is timed. This is the CI smoke path.
+//! * **measure mode** (plain `cargo bench`): each benchmark is warmed up
+//!   briefly, then timed over an adaptive number of iterations, and a
+//!   `ns/iter` line is printed. No plotting, no statistics beyond the
+//!   mean — enough to eyeball regressions locally without any external
+//!   dependency.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Returns its argument, preventing the optimizer from seeing through it.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter rendering.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            name: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives one benchmark body.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean nanoseconds per iteration, filled by [`Bencher::iter`] in
+    /// measure mode.
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Runs `f` — once in test mode, or repeatedly under the timer.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up: a few untimed runs so lazy initialization settles.
+        let warmup_until = Instant::now() + Duration::from_millis(50);
+        let mut warmup_iters = 0u64;
+        let warmup_start = Instant::now();
+        while Instant::now() < warmup_until || warmup_iters == 0 {
+            black_box(f());
+            warmup_iters += 1;
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+        // Measure: aim for ~200ms of work, capped to keep slow benches sane.
+        let target = (200_000_000.0 / per_iter.max(1.0)).ceil() as u64;
+        let iters = target.clamp(1, 100_000);
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<D: fmt::Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if !self.criterion.matches(&full) {
+            return self;
+        }
+        let mut b = Bencher {
+            test_mode: self.criterion.test_mode,
+            mean_ns: None,
+        };
+        f(&mut b);
+        if self.criterion.test_mode {
+            println!("test {full} ... ok");
+        } else {
+            match b.mean_ns {
+                Some(ns) => println!("{full}: {ns:.0} ns/iter"),
+                None => println!("{full}: no measurement (iter was never called)"),
+            }
+        }
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness configuration and entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards everything after `--` plus a `--bench`
+        // flag; anything that is not a recognized flag acts as a substring
+        // filter on benchmark names, like the real harness.
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "--quiet" | "--verbose" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { test_mode, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a benchmark group named `name`.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Registers and immediately runs one ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.matches(name) {
+            let mut b = Bencher {
+                test_mode: self.test_mode,
+                mean_ns: None,
+            };
+            f(&mut b);
+            if self.test_mode {
+                println!("test {name} ... ok");
+            } else if let Some(ns) = b.mean_ns {
+                println!("{name}: {ns:.0} ns/iter");
+            }
+        }
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        match &self.filter {
+            Some(f) => full_name.contains(f.as_str()),
+            None => true,
+        }
+    }
+}
+
+/// Declares a benchmark group function that runs each target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main`, running each declared group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats_name_and_parameter() {
+        assert_eq!(BenchmarkId::new("read", "S5").to_string(), "read/S5");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn test_mode_runs_the_body_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: None,
+        };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("wanted".into()),
+        };
+        let mut runs = 0;
+        let mut g = c.benchmark_group("g");
+        g.bench_function("other", |b| b.iter(|| runs += 1));
+        g.bench_function("wanted", |b| b.iter(|| runs += 1));
+        g.finish();
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_records_a_mean() {
+        let mut b = Bencher {
+            test_mode: false,
+            mean_ns: None,
+        };
+        b.iter(|| black_box(1 + 1));
+        assert!(b.mean_ns.is_some());
+    }
+}
