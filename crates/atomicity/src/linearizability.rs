@@ -12,7 +12,8 @@
 //! histories (§7) and serves as an oracle to cross-check the specialized
 //! SWMR checker on single-writer histories.
 
-use std::collections::HashSet;
+#[allow(clippy::disallowed_types)]
+use std::collections::HashSet; // fastreg-lint: allow(nondet-order): DFS memo set, membership tests only, never iterated
 
 use crate::history::{History, OpKind, Operation, RegValue};
 
@@ -91,6 +92,8 @@ pub fn check_linearizable(history: &History) -> Result<bool, LinCheckError> {
     }
 
     // DFS over (linearized mask, current register value), memoized.
+    #[allow(clippy::disallowed_types)]
+    // fastreg-lint: allow(nondet-order): memo set for insert/contains only; the verdict never depends on its order
     let mut seen: HashSet<(u64, RegValue)> = HashSet::new();
     let mut stack: Vec<(u64, RegValue)> = vec![(0, RegValue::Bottom)];
     let full = complete_mask;

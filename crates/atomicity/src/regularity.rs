@@ -12,7 +12,8 @@
 //! concurrent* with the read (with `⊥` standing for the absent zeroth
 //! write). Unlike atomicity there is no condition linking different reads.
 
-use std::collections::HashMap;
+#[allow(clippy::disallowed_types)]
+use std::collections::HashMap; // fastreg-lint: allow(nondet-order): pure keyed lookup (value -> write index), never iterated
 use std::fmt;
 
 use crate::history::{History, OpId, OpKind, Operation, RegValue};
@@ -119,6 +120,8 @@ pub fn check_swmr_regularity(history: &History) -> Result<(), RegularityViolatio
         }
     }
 
+    #[allow(clippy::disallowed_types)]
+    // fastreg-lint: allow(nondet-order): O(1) keyed lookup on the checker hot path; only get/insert, never iterated
     let mut index_of: HashMap<u64, usize> = HashMap::new();
     for (i, w) in writes.iter().enumerate() {
         let value = match w.kind {

@@ -19,7 +19,8 @@
 //! with repeated values use the [`linearizability`](crate::linearizability)
 //! checker instead).
 
-use std::collections::HashMap;
+#[allow(clippy::disallowed_types)]
+use std::collections::HashMap; // fastreg-lint: allow(nondet-order): pure keyed lookup (value -> write index), never iterated
 use std::fmt;
 
 use crate::history::{History, OpId, OpKind, Operation, RegValue};
@@ -261,7 +262,10 @@ fn collect_writes(history: &History) -> Result<Vec<&Operation>, AtomicityViolati
 }
 
 /// Maps each written value to its 1-based write index.
+#[allow(clippy::disallowed_types)]
+// fastreg-lint: allow(nondet-order): O(1) keyed lookup on the checker hot path; only get/insert, never iterated
 fn index_writes(writes: &[&Operation]) -> Result<HashMap<u64, usize>, AtomicityViolation> {
+    // fastreg-lint: allow(nondet-order): same map as the signature above
     let mut index_of = HashMap::new();
     for (i, w) in writes.iter().enumerate() {
         let value = match w.kind {

@@ -109,6 +109,9 @@ impl<P: ProtocolFamily> ThreadCluster<P> {
     ///
     /// Panics if the client's outstanding operation does not complete
     /// within the settle timeout (the deployment is stalled).
+    // `threads.rs` is a sanctioned wall-clock site (lint rule D2): settle
+    // deadlines on a real-threads deployment are wall deadlines.
+    #[allow(clippy::disallowed_methods)]
     fn await_client_idle(&self, addr: u32) {
         let deadline = Instant::now() + SETTLE_TIMEOUT;
         while self.outstanding(addr) > 0 {
@@ -158,6 +161,7 @@ impl<P: ProtocolFamily> RegisterOps for ThreadCluster<P> {
         }
     }
 
+    #[allow(clippy::disallowed_methods)]
     fn try_settle(&mut self) -> Result<u64, QuiescenceError> {
         let deadline = Instant::now() + SETTLE_TIMEOUT;
         let mut polls = 0u64;
@@ -174,6 +178,7 @@ impl<P: ProtocolFamily> RegisterOps for ThreadCluster<P> {
         Ok(polls)
     }
 
+    #[allow(clippy::disallowed_methods)]
     fn read(&mut self, index: u32) -> RegValue {
         let addr = self.layout.reader(index).index();
         // Readers only read, so their per-client completion count is a

@@ -1,0 +1,131 @@
+//! The `fastreg-lint` CLI: the blocking determinism & isolation gate.
+//!
+//! ```text
+//! fastreg-lint --workspace [--root DIR] [--json] [--include-tests]
+//! fastreg-lint [--root DIR] PATH...
+//! fastreg-lint --list-rules
+//! ```
+//!
+//! Exit codes: `0` clean (no unannotated findings), `1` gating findings,
+//! `2` usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use fastreg_lint::{scan_workspace, Config, Rule};
+
+const USAGE: &str = "\
+fastreg-lint: workspace determinism & substrate-isolation analyzer
+
+USAGE:
+    fastreg-lint --workspace [OPTIONS]     scan the whole workspace
+    fastreg-lint [OPTIONS] PATH...         scan specific files/directories
+    fastreg-lint --list-rules              print the rule table
+
+OPTIONS:
+    --root DIR        workspace root the rule scopes are relative to
+                      (default: current directory)
+    --json            emit the findings as JSON instead of a table
+    --include-tests   also scan tests/ directories
+    -h, --help        this message
+
+EXIT CODES:
+    0  clean — every finding (if any) carries a fastreg-lint allow annotation
+    1  at least one unannotated finding
+    2  usage or I/O error
+";
+
+struct Args {
+    workspace: bool,
+    list_rules: bool,
+    json: bool,
+    include_tests: bool,
+    root: PathBuf,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        workspace: false,
+        list_rules: false,
+        json: false,
+        include_tests: false,
+        root: PathBuf::from("."),
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workspace" => args.workspace = true,
+            "--list-rules" => args.list_rules = true,
+            "--json" => args.json = true,
+            "--include-tests" => args.include_tests = true,
+            "--root" => {
+                args.root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root needs a value".to_string())?,
+                );
+            }
+            "-h" | "--help" => return Err(String::new()), // usage, exit 0 handled below
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            path => args.paths.push(PathBuf::from(path)),
+        }
+    }
+    if args.list_rules {
+        return Ok(args);
+    }
+    if args.workspace && !args.paths.is_empty() {
+        return Err("--workspace and explicit PATHs are mutually exclusive".to_string());
+    }
+    if !args.workspace && args.paths.is_empty() {
+        return Err("nothing to scan: pass --workspace or at least one PATH".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            if message.is_empty() {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("fastreg-lint: {message}\n\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in Rule::ALL {
+            println!("{:<24} {}", rule.to_string(), rule.summary());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let cfg = Config {
+        root: args.root,
+        include_tests: args.include_tests,
+        paths: args.paths,
+    };
+    let report = match scan_workspace(&cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("fastreg-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.json {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.table());
+    }
+    if report.unannotated().count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,435 @@
+//! The five workspace invariants, as named rules with spans.
+//!
+//! | id | code | invariant |
+//! |----|------|-----------|
+//! | D1 | `nondet-order` | no `HashMap`/`HashSet` in modules that feed verdicts, traces, fingerprints or counterexample bytes |
+//! | D2 | `wall-clock` | `Instant::now`/`SystemTime` only in the real-threads runtime and the bench crate |
+//! | D3 | `substrate-isolation` | simnet-only controls (`SimControl` & friends, fault-script types) never referenced from the threads substrate |
+//! | D4 | `panic-hygiene` | no `settle()`/`run_until_quiescent_or_panic`/bare `unwrap()` in non-test protocol/checker library code |
+//! | D5 | `registry-completeness` | every `ProtocolId` variant has a registry entry, a `build_threads` constructor and a conformance appearance |
+//!
+//! D1–D4 are per-line token rules scoped by repo-relative path; D5 is a
+//! cross-file rule over `registry.rs` and `tests/protocol_conformance.rs`.
+//! Any finding can be waived *with a written justification* via
+//! `// fastreg-lint: allow(<code>): <reason>` on (or directly above) the
+//! offending line; waived findings stay visible in the report.
+
+use std::fmt;
+
+use crate::scanner::{find_token, Scanned};
+
+/// One of the five enforced invariants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// D1: nondeterministic iteration order on a verdict-feeding path.
+    NondetOrder,
+    /// D2: wall-clock reads outside the sanctioned runtime/bench sites.
+    WallClock,
+    /// D3: simnet-only steering referenced from the threads substrate.
+    SubstrateIsolation,
+    /// D4: panicking shortcuts in non-test protocol/checker library code.
+    PanicHygiene,
+    /// D5: a `ProtocolId` variant not wired through registry + conformance.
+    RegistryCompleteness,
+}
+
+impl Rule {
+    /// Every rule, in D1..D5 order.
+    pub const ALL: [Rule; 5] = [
+        Rule::NondetOrder,
+        Rule::WallClock,
+        Rule::SubstrateIsolation,
+        Rule::PanicHygiene,
+        Rule::RegistryCompleteness,
+    ];
+
+    /// Stable kebab-case code — the name used in allow annotations and
+    /// `--json` output.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::NondetOrder => "nondet-order",
+            Rule::WallClock => "wall-clock",
+            Rule::SubstrateIsolation => "substrate-isolation",
+            Rule::PanicHygiene => "panic-hygiene",
+            Rule::RegistryCompleteness => "registry-completeness",
+        }
+    }
+
+    /// Short id (`D1`..`D5`).
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::NondetOrder => "D1",
+            Rule::WallClock => "D2",
+            Rule::SubstrateIsolation => "D3",
+            Rule::PanicHygiene => "D4",
+            Rule::RegistryCompleteness => "D5",
+        }
+    }
+
+    /// One-line statement of the invariant (shown by `--list-rules`).
+    pub fn summary(self) -> &'static str {
+        match self {
+            Rule::NondetOrder => {
+                "no HashMap/HashSet where iteration order can reach a verdict, trace, \
+                 fingerprint or counterexample"
+            }
+            Rule::WallClock => {
+                "Instant::now/SystemTime only in crates/rt, core/src/threads.rs, \
+                 simnet/src/threaded.rs and crates/bench"
+            }
+            Rule::SubstrateIsolation => {
+                "SimControl-only methods and fault-script types must not be referenced \
+                 from the threads substrate"
+            }
+            Rule::PanicHygiene => {
+                "no settle()/run_until_quiescent_or_panic/bare unwrap() in non-test \
+                 protocol/checker library code"
+            }
+            Rule::RegistryCompleteness => {
+                "every ProtocolId variant needs an ALL slot, a registry entry with \
+                 build_threads, and a protocol_conformance appearance"
+            }
+        }
+    }
+
+    /// Parses a rule code (the kebab-case name).
+    pub fn from_code(s: &str) -> Option<Rule> {
+        Rule::ALL.into_iter().find(|r| r.code() == s)
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.id(), self.code())
+    }
+}
+
+/// One rule hit: where, what, and whether a written justification waives
+/// it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The violated rule.
+    pub rule: Rule,
+    /// Repo-relative path with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The offending source line (trimmed), or the missing-wiring
+    /// description for D5.
+    pub snippet: String,
+    /// `Some(reason)` if a `fastreg-lint: allow` annotation covers the
+    /// line.
+    pub allowed: Option<String>,
+}
+
+impl Finding {
+    /// True if the finding carries a justification and does not gate.
+    pub fn is_allowed(&self) -> bool {
+        self.allowed.is_some()
+    }
+}
+
+/// Whether `path` (repo-relative, `/`-separated) lies in a `tests/`
+/// tree.
+fn in_tests_dir(path: &str) -> bool {
+    path.starts_with("tests/") || path.contains("/tests/")
+}
+
+/// D1 scope: the modules whose iteration order feeds verdicts, traces,
+/// fingerprints or counterexample bytes.
+fn d1_scope(p: &str) -> bool {
+    p.starts_with("crates/atomicity/src/")
+        || p == "crates/store/src/checker.rs"
+        || p == "crates/store/src/shard.rs"
+        || p.starts_with("crates/adversary/src/explore/")
+        || p.starts_with("crates/simnet/src/world/")
+        || p == "crates/simnet/src/trace.rs"
+        || p == "crates/workload/src/driver.rs"
+}
+
+/// D2 exemptions: the sanctioned wall-clock sites (real-threads runtime
+/// and measurement surfaces).
+fn d2_exempt(p: &str) -> bool {
+    p.starts_with("crates/rt/")
+        || p == "crates/core/src/threads.rs"
+        || p == "crates/simnet/src/threaded.rs"
+        || p.starts_with("crates/bench/")
+}
+
+/// D3 scope: the threads substrate, which must stay steerable-free.
+fn d3_scope(p: &str) -> bool {
+    p.starts_with("crates/rt/") || p == "crates/core/src/threads.rs"
+}
+
+/// D4 scope: protocol and checker *library* code (tests excluded by
+/// path here and by `#[cfg(test)]` region per line).
+fn d4_scope(p: &str) -> bool {
+    !in_tests_dir(p)
+        && (p.starts_with("crates/core/src/protocols/")
+            || p.starts_with("crates/atomicity/src/")
+            || p == "crates/store/src/checker.rs")
+}
+
+const D1_TOKENS: &[&str] = &["HashMap", "HashSet"];
+const D2_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
+const D3_TOKENS: &[&str] = &[
+    "SimControl",
+    "step_random",
+    "crash_proc",
+    "block_link_procs",
+    "heal_link_procs",
+    "trace_fingerprint",
+    "FaultScript",
+    "FaultEvent",
+    "FaultKind",
+];
+const D4_TOKENS: &[&str] = &[".unwrap()", ".settle()", "run_until_quiescent_or_panic"];
+
+/// Applies the per-line rules D1–D4 to one scanned file.
+pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Finding> {
+    let mut rules: Vec<(Rule, &[&str], bool)> = Vec::new(); // (rule, tokens, skip_test_lines)
+    if d1_scope(path) {
+        rules.push((Rule::NondetOrder, D1_TOKENS, false));
+    }
+    if !d2_exempt(path) {
+        rules.push((Rule::WallClock, D2_TOKENS, false));
+    }
+    if d3_scope(path) {
+        rules.push((Rule::SubstrateIsolation, D3_TOKENS, false));
+    }
+    if d4_scope(path) {
+        rules.push((Rule::PanicHygiene, D4_TOKENS, true));
+    }
+    let mut findings = Vec::new();
+    for line in &scanned.lines {
+        for (rule, tokens, skip_tests) in &rules {
+            if *skip_tests && line.in_test {
+                continue;
+            }
+            if tokens.iter().any(|t| find_token(&line.code, t)) {
+                findings.push(Finding {
+                    rule: *rule,
+                    file: path.to_string(),
+                    line: line.number,
+                    snippet: snippet_of(&line.raw),
+                    allowed: scanned
+                        .allow_reason(line.number, rule.code())
+                        .map(str::to_string),
+                });
+            }
+        }
+    }
+    findings
+}
+
+/// Trims and bounds a raw line for display.
+fn snippet_of(raw: &str) -> String {
+    let t = raw.trim();
+    if t.chars().count() > 120 {
+        let cut: String = t.chars().take(117).collect();
+        format!("{cut}...")
+    } else {
+        t.to_string()
+    }
+}
+
+/// The cross-file D5 check over a parsed `registry.rs` and the
+/// conformance suite.
+///
+/// `registry` is the scanned `crates/core/src/protocols/registry.rs`;
+/// `conformance` is the scanned `tests/protocol_conformance.rs` (or
+/// `None` if that file is missing, which fails every variant's
+/// conformance leg).
+pub fn check_registry(
+    registry_path: &str,
+    registry: &Scanned,
+    conformance: Option<&Scanned>,
+) -> Vec<Finding> {
+    let variants = enum_variants(registry, "ProtocolId");
+    let all_span = span_between(registry, "const ALL", "];");
+    let registry_span = span_between(registry, "static REGISTRY", "];");
+    let entries = entry_chunks(registry, &registry_span);
+
+    let mut findings = Vec::new();
+    for (name, decl_line) in &variants {
+        let qualified = format!("ProtocolId::{name}");
+        let mut missing: Vec<String> = Vec::new();
+        if !span_contains_token(registry, &all_span, &qualified) {
+            missing.push("missing from ProtocolId::ALL".to_string());
+        }
+        match entries.iter().find(|chunk| {
+            chunk
+                .iter()
+                .any(|l| find_token(&registry.lines[*l].code, &qualified))
+        }) {
+            None => missing.push("no ProtocolEntry in REGISTRY".to_string()),
+            Some(chunk) => {
+                if !chunk
+                    .iter()
+                    .any(|l| find_token(&registry.lines[*l].code, "build_threads"))
+                {
+                    missing.push("registry entry lacks a build_threads constructor".to_string());
+                }
+            }
+        }
+        match conformance {
+            Some(c) if c.contains_token(&qualified) => {}
+            _ => missing.push("never exercised by tests/protocol_conformance.rs".to_string()),
+        }
+        for what in missing {
+            findings.push(Finding {
+                rule: Rule::RegistryCompleteness,
+                file: registry_path.to_string(),
+                line: *decl_line,
+                snippet: format!("{qualified}: {what}"),
+                allowed: registry
+                    .allow_reason(*decl_line, Rule::RegistryCompleteness.code())
+                    .map(str::to_string),
+            });
+        }
+    }
+    findings
+}
+
+/// The number of `ProtocolId` variants seen by [`check_registry`] —
+/// exposed so the self-scan can assert the cross-file rule actually
+/// parsed the enum.
+pub fn count_enum_variants(registry: &Scanned) -> usize {
+    enum_variants(registry, "ProtocolId").len()
+}
+
+/// Extracts `(variant name, declaration line)` from `pub enum <name>`.
+fn enum_variants(scanned: &Scanned, enum_name: &str) -> Vec<(String, usize)> {
+    let needle = format!("enum {enum_name}");
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut inside = false;
+    for line in &scanned.lines {
+        if !inside && line.code.contains(&needle) {
+            inside = true;
+            depth = 0;
+        }
+        if inside {
+            let before = depth;
+            for ch in line.code.chars() {
+                match ch {
+                    '{' => depth += 1,
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if before == 1 && depth == 1 {
+                // A body line at depth 1: `Variant,` (attributes and
+                // blanks filtered below).
+                let t = line.code.trim();
+                if let Some(ident) = t.strip_suffix(',') {
+                    let ident = ident.trim();
+                    if !ident.is_empty()
+                        && ident.chars().next().is_some_and(|c| c.is_ascii_uppercase())
+                        && ident.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    {
+                        out.push((ident.to_string(), line.number));
+                    }
+                }
+            }
+            if depth == 0 && before > 0 {
+                break; // enum closed
+            }
+        }
+    }
+    out
+}
+
+/// The 0-based line range from the first line containing `open` to the
+/// next line containing `close` (inclusive). Empty if not found.
+fn span_between(scanned: &Scanned, open: &str, close: &str) -> Vec<usize> {
+    let Some(start) = scanned.lines.iter().position(|l| l.code.contains(open)) else {
+        return Vec::new();
+    };
+    let end = scanned.lines[start..]
+        .iter()
+        .position(|l| l.code.contains(close))
+        .map(|off| start + off)
+        .unwrap_or(scanned.lines.len() - 1);
+    (start..=end).collect()
+}
+
+fn span_contains_token(scanned: &Scanned, span: &[usize], token: &str) -> bool {
+    span.iter()
+        .any(|&l| find_token(&scanned.lines[l].code, token))
+}
+
+/// Splits a `static REGISTRY` span into per-`ProtocolEntry {` chunks of
+/// 0-based line indices.
+fn entry_chunks(scanned: &Scanned, span: &[usize]) -> Vec<Vec<usize>> {
+    let mut chunks: Vec<Vec<usize>> = Vec::new();
+    for &l in span {
+        if scanned.lines[l].code.contains("ProtocolEntry {") {
+            chunks.push(Vec::new());
+        }
+        if let Some(current) = chunks.last_mut() {
+            current.push(l);
+        }
+    }
+    chunks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::scan;
+
+    #[test]
+    fn rule_codes_round_trip() {
+        for rule in Rule::ALL {
+            assert_eq!(Rule::from_code(rule.code()), Some(rule));
+            assert!(rule.id().starts_with('D'));
+            assert!(!rule.summary().is_empty());
+            assert!(format!("{rule}").contains(rule.code()));
+        }
+        assert_eq!(Rule::from_code("no-such-rule"), None);
+    }
+
+    #[test]
+    fn d1_fires_only_in_scope() {
+        let s = scan("use std::collections::HashMap;\n");
+        assert_eq!(check_file("crates/atomicity/src/swmr.rs", &s).len(), 1);
+        assert_eq!(
+            check_file("crates/core/src/quorum.rs", &s).len(),
+            0,
+            "out of D1 scope"
+        );
+    }
+
+    #[test]
+    fn d2_exempts_the_runtime_sites() {
+        let s = scan("let t = Instant::now();\n");
+        assert_eq!(check_file("crates/workload/src/metrics.rs", &s).len(), 1);
+        assert_eq!(check_file("crates/rt/src/lib.rs", &s).len(), 0);
+        assert_eq!(check_file("crates/bench/src/lib.rs", &s).len(), 0);
+        assert_eq!(check_file("crates/core/src/threads.rs", &s).len(), 0);
+    }
+
+    #[test]
+    fn d4_skips_test_regions_and_test_paths() {
+        let src =
+            "fn lib() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let s = scan(src);
+        let f = check_file("crates/atomicity/src/history.rs", &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].line, 1);
+        assert_eq!(
+            check_file("crates/atomicity/tests/properties.rs", &s).len(),
+            0
+        );
+    }
+
+    #[test]
+    fn allowed_findings_carry_the_reason() {
+        let s =
+            scan("use std::collections::HashMap; // fastreg-lint: allow(nondet-order): keyed\n");
+        let f = check_file("crates/atomicity/src/swmr.rs", &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].allowed.as_deref(), Some("keyed"));
+    }
+}

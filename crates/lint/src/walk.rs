@@ -1,0 +1,70 @@
+//! Deterministic discovery of the Rust sources to scan.
+//!
+//! The walk is *sorted* at every directory level, so the file list — and
+//! therefore the finding order, the table and the `--json` bytes — is
+//! identical across runs, machines and filesystems (`read_dir` order is
+//! explicitly unspecified). Pinned by `tests/walk_determinism.rs`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into: vendored dependencies, build
+/// output, committed counterexample corpora and VCS/CI metadata are not
+/// workspace sources.
+pub const SKIP_DIRS: &[&str] = &["vendor", "target", "corpus", "found"];
+
+/// Directory name skipped by default and re-included by
+/// `--include-tests`: integration-test trees may legitimately use
+/// wall-clock timeouts and panicking assertions.
+pub const TEST_DIR: &str = "tests";
+
+/// Collects every `.rs` file under `root`, returned as **sorted,
+/// root-relative** paths with `/` separators.
+///
+/// Skips [`SKIP_DIRS`], hidden directories (`.git`, `.github`, …) and —
+/// unless `include_tests` — any directory named `tests`.
+///
+/// # Errors
+///
+/// Propagates the underlying `read_dir` errors; a missing `root` is an
+/// error, an empty tree is `Ok(vec![])`.
+pub fn rust_files(root: &Path, include_tests: bool) -> io::Result<Vec<String>> {
+    let mut out = Vec::new();
+    descend(root, Path::new(""), include_tests, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn descend(dir: &Path, rel: &Path, include_tests: bool, out: &mut Vec<String>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let name = match path.file_name().and_then(|n| n.to_str()) {
+            Some(n) => n,
+            None => continue, // non-UTF-8 names cannot be workspace sources
+        };
+        let rel_child = rel.join(name);
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            if name == TEST_DIR && !include_tests {
+                continue;
+            }
+            descend(&path, &rel_child, include_tests, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(normalize(&rel_child));
+        }
+    }
+    Ok(())
+}
+
+/// Renders a relative path with `/` separators regardless of platform.
+pub fn normalize(rel: &Path) -> String {
+    rel.iter()
+        .map(|c| c.to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}

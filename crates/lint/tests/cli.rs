@@ -1,0 +1,88 @@
+//! End-to-end CLI checks: exit codes (0 clean / 1 findings / 2 usage),
+//! `--json` output, and `--list-rules`.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use fastreg_lint::json;
+
+fn fixture(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_fastreg-lint"))
+        .args(args)
+        .output()
+        .expect("spawn fastreg-lint")
+}
+
+fn scan_fixture(name: &str, extra: &[&str]) -> Output {
+    let root = fixture(name);
+    let mut args = vec!["--workspace", "--root", root.to_str().unwrap()];
+    args.extend_from_slice(extra);
+    run(&args)
+}
+
+#[test]
+fn every_positive_fixture_exits_one() {
+    for rule in ["d1", "d2", "d3", "d4", "d5"] {
+        let out = scan_fixture(&format!("{rule}/pos"), &[]);
+        assert_eq!(
+            out.status.code(),
+            Some(1),
+            "{rule}/pos:\n{}",
+            String::from_utf8_lossy(&out.stdout)
+        );
+    }
+}
+
+#[test]
+fn negative_and_allowed_fixtures_exit_zero() {
+    for rule in ["d1", "d2", "d3", "d4", "d5"] {
+        for kind in ["neg", "allowed"] {
+            let out = scan_fixture(&format!("{rule}/{kind}"), &[]);
+            assert_eq!(
+                out.status.code(),
+                Some(0),
+                "{rule}/{kind}:\n{}",
+                String::from_utf8_lossy(&out.stdout)
+            );
+        }
+    }
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    for args in [
+        &[][..],
+        &["--no-such-flag"][..],
+        &["--workspace", "src/lib.rs"][..],
+    ] {
+        let out = run(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(String::from_utf8_lossy(&out.stderr).contains("USAGE"));
+    }
+}
+
+#[test]
+fn json_flag_emits_the_schema() {
+    let out = scan_fixture("d1/pos", &["--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let v = json::parse(&String::from_utf8_lossy(&out.stdout)).unwrap();
+    assert_eq!(v.get("fastreg_lint").unwrap().as_u64(), Some(1));
+    assert_eq!(v.get("unannotated").unwrap().as_u64(), Some(2));
+}
+
+#[test]
+fn list_rules_prints_the_five_rules() {
+    let out = run(&["--list-rules"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(stdout.lines().count(), 5);
+    for id in ["D1 nondet-order", "D5 registry-completeness"] {
+        assert!(stdout.contains(id), "missing '{id}' in:\n{stdout}");
+    }
+}

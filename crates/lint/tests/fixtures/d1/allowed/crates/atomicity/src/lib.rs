@@ -1,0 +1,6 @@
+use std::collections::HashMap; // fastreg-lint: allow(nondet-order): pure keyed lookup, never iterated
+
+// fastreg-lint: allow(nondet-order): membership test only
+pub fn contains(h: &HashMap<u32, u32>, k: u32) -> bool {
+    h.contains_key(&k)
+}

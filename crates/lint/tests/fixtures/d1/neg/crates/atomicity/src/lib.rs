@@ -1,0 +1,8 @@
+use std::collections::BTreeMap;
+
+/// A HashMap here would be nondeterministic; BTreeMap keeps the
+/// iteration order stable (rule D1).
+pub fn order(m: &BTreeMap<u32, u32>) -> Vec<u32> {
+    let _doc = "HashMap inside a string literal must not fire";
+    m.values().copied().collect()
+}

@@ -1,0 +1,5 @@
+use std::collections::HashMap;
+
+pub fn order(h: &HashMap<u32, u32>) -> Vec<u32> {
+    h.values().copied().collect()
+}

@@ -1,0 +1,5 @@
+use std::time::SystemTime;
+
+pub fn stamp() -> SystemTime {
+    SystemTime::now()
+}

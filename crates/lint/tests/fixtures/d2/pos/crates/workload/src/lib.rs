@@ -1,0 +1,6 @@
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}

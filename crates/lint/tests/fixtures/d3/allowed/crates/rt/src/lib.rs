@@ -1,0 +1,2 @@
+// fastreg-lint: allow(substrate-isolation): compile-time shim naming the simnet trait in a bound only
+pub fn assert_not_sim_control<T: SimControl>() {}

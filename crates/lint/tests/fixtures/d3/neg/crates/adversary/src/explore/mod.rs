@@ -1,0 +1,5 @@
+// The adversary is simnet-side: steering methods are its whole job.
+pub fn explore(world: &mut World) {
+    world.step_random(7);
+    world.crash_proc(ProcessId(1));
+}

@@ -1,0 +1,3 @@
+pub fn run(world: &mut World) {
+    world.step();
+}

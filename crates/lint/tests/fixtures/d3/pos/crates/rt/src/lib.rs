@@ -1,0 +1,5 @@
+use fastreg_simnet::SimControl;
+
+pub fn steer(world: &mut World) {
+    world.step_random(7);
+}

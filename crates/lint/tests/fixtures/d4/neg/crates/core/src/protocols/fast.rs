@@ -1,0 +1,12 @@
+pub fn decide(x: Option<u32>) -> Option<u32> {
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        let x: Option<u32> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,7 @@
+pub fn decide(x: Option<u32>) -> u32 {
+    x.unwrap()
+}
+
+pub fn drain(world: &mut World) {
+    world.settle();
+}

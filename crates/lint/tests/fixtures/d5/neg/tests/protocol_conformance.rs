@@ -1,0 +1,5 @@
+#[test]
+fn conformance() {
+    exercise(ProtocolId::Alpha);
+    exercise(ProtocolId::Beta);
+}

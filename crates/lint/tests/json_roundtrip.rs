@@ -1,0 +1,55 @@
+//! `--json` schema tests: the emitted document parses, carries the
+//! documented keys, and round-trips back into an identical `Report`.
+
+use std::path::PathBuf;
+
+use fastreg_lint::{json, scan_workspace, Config, Report};
+
+fn scan(fixture: &str) -> Report {
+    let root = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(fixture);
+    scan_workspace(&Config::new(&root)).unwrap()
+}
+
+#[test]
+fn roundtrips_gating_allowed_and_empty_reports() {
+    for fixture in ["d1/pos", "d5/allowed", "d1/neg"] {
+        let report = scan(fixture);
+        let parsed =
+            Report::from_json(&report.to_json()).unwrap_or_else(|e| panic!("{fixture}: {e}"));
+        assert_eq!(parsed, report, "{fixture} did not round-trip");
+    }
+}
+
+#[test]
+fn schema_keys_and_counts_are_consistent() {
+    let report = scan("d5/pos");
+    let v = json::parse(&report.to_json()).unwrap();
+    assert_eq!(v.get("fastreg_lint").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        v.get("files_scanned").unwrap().as_u64(),
+        Some(report.files_scanned as u64)
+    );
+    assert_eq!(v.get("registry_variants").unwrap().as_u64(), Some(3));
+    let findings = v.get("findings").unwrap().as_array().unwrap();
+    assert_eq!(
+        v.get("total").unwrap().as_u64(),
+        Some(findings.len() as u64)
+    );
+    assert_eq!(
+        v.get("unannotated").unwrap().as_u64().unwrap()
+            + v.get("allowed").unwrap().as_u64().unwrap(),
+        findings.len() as u64
+    );
+    for f in findings {
+        for key in ["rule", "id", "file", "line", "snippet", "allowed"] {
+            assert!(f.get(key).is_some(), "finding missing key '{key}'");
+        }
+        // `reason` present exactly when allowed.
+        assert_eq!(
+            f.get("allowed").unwrap().as_bool().unwrap(),
+            f.get("reason").is_some()
+        );
+    }
+}

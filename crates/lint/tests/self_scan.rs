@@ -1,0 +1,48 @@
+//! The self-scan: the shipped workspace must carry zero unannotated
+//! findings. This is the same gate CI enforces via `fastreg-lint
+//! --workspace`; keeping it as a test means `cargo test` alone catches
+//! a regression (e.g. a HashMap seeded into a checker module).
+
+use std::path::PathBuf;
+
+use fastreg_lint::{scan_workspace, Config, Rule};
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+#[test]
+fn workspace_has_zero_unannotated_findings() {
+    let report = scan_workspace(&Config::new(&workspace_root())).unwrap();
+    assert_eq!(
+        report.unannotated().count(),
+        0,
+        "the workspace gained unannotated lint findings:\n{}",
+        report.table()
+    );
+}
+
+#[test]
+fn scan_actually_covered_the_tree() {
+    let report = scan_workspace(&Config::new(&workspace_root())).unwrap();
+    assert!(
+        report.files_scanned >= 80,
+        "only {} files scanned — walk regression?",
+        report.files_scanned
+    );
+    assert_eq!(
+        report.registry_variants, 8,
+        "D5 no longer parses all ProtocolId variants"
+    );
+    // A known, deliberately annotated site: the SWMR checker's
+    // value->index lookup map. If this disappears the allow machinery
+    // (or the scan itself) broke.
+    assert!(
+        report
+            .allowed()
+            .any(|f| f.rule == Rule::NondetOrder && f.file == "crates/atomicity/src/swmr.rs"),
+        "expected the annotated HashMap in the SWMR checker to be reported as allowed:\n{}",
+        report.table()
+    );
+}

@@ -171,6 +171,9 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ActorPool<M> {
     /// Spawns the pool: `automata[i]` becomes actor `ProcessId(i)` owned
     /// by worker `i mod workers`. Each automaton's `on_start` runs on its
     /// worker before that worker processes any message.
+    // The rt crate is a sanctioned wall-clock site (lint rule D2): real
+    // threads need real time for uptime accounting and settle deadlines.
+    #[allow(clippy::disallowed_methods)]
     pub fn spawn(automata: Vec<Box<dyn Automaton<Msg = M>>>, cfg: RtConfig) -> Self {
         let n_actors = automata.len();
         let workers = cfg.workers.clamp(1, n_actors.max(1));

@@ -72,6 +72,9 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ThreadedNet<M> {
     /// Spawns one thread per automaton. Ids are assigned in vector order.
     /// Each automaton's `on_start` runs on its own thread before any message
     /// is processed.
+    // `threaded` is a sanctioned wall-clock site (lint rule D2): OS
+    // threads have no simulated clock to timestamp with.
+    #[allow(clippy::disallowed_methods)]
     pub fn spawn(automata: Vec<Box<dyn Automaton<Msg = M>>>) -> Self {
         let start = Instant::now();
         let channels: Vec<NodeChannel<M>> = automata.iter().map(|_| unbounded()).collect();

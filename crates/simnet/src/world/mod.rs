@@ -85,6 +85,10 @@ pub struct World<M> {
     /// Directed links currently blocked: messages on them stay in transit
     /// for the timed and random schedulers (scripted delivery can still
     /// force them through — the adversary outranks the network).
+    /// Insert/remove/contains only — never iterated, so its internal
+    /// order cannot reach a trace or verdict.
+    #[allow(clippy::disallowed_types)]
+    // fastreg-lint: allow(nondet-order): membership set, insert/remove/contains only, never iterated
     blocked_links: std::collections::HashSet<(ProcessId, ProcessId)>,
 }
 
@@ -101,6 +105,8 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
             trace: Trace::with_capacity(config.trace_capacity),
             stats: NetStats::new(),
             config,
+            // fastreg-lint: allow(nondet-order): same membership set as the field above
+            #[allow(clippy::disallowed_types)]
             blocked_links: std::collections::HashSet::new(),
         }
     }

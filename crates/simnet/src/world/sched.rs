@@ -44,7 +44,8 @@
 //! ~100× cheaper than the linear scan).
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+#[allow(clippy::disallowed_types)]
+use std::collections::{BinaryHeap, HashMap}; // fastreg-lint: allow(nondet-order): parking table, keyed access only
 use std::fmt;
 
 use crate::envelope::MsgId;
@@ -63,8 +64,13 @@ pub type ReadyEntry = (SimTime, MsgId);
 ///
 /// See the [module docs](self) for the invalidation rules.
 #[derive(Debug, Default)]
+#[allow(clippy::disallowed_types)]
 pub struct ReadyQueue {
     heap: BinaryHeap<Reverse<ReadyEntry>>,
+    // Keyed entry/remove only — never iterated. Entries released by
+    // `heal` re-enter the heap, whose (ready_at, MsgId) keys are unique,
+    // so the pop order is independent of this map's internal order.
+    // fastreg-lint: allow(nondet-order): per-link parking table, keyed access only, never iterated
     parked: HashMap<Link, Vec<ReadyEntry>>,
 }
 

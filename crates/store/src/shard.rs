@@ -1,7 +1,8 @@
 //! One shard: an independent slice of the keyspace, one register
 //! deployment per key.
 
-use std::collections::{BTreeMap, HashSet};
+#[allow(clippy::disallowed_types)]
+use std::collections::{BTreeMap, HashSet}; // fastreg-lint: allow(nondet-order): wave-busy set, membership tests only
 use std::fmt;
 
 use fastreg::config::ClusterConfig;
@@ -202,6 +203,8 @@ impl Shard {
         for (key, kops) in per_key {
             let cluster = self.register(key);
             let layout = cluster.layout();
+            // fastreg-lint: allow(nondet-order): insert/clear membership only; wave boundaries depend on op order, not set order
+            #[allow(clippy::disallowed_types)]
             let mut busy: HashSet<u32> = HashSet::new();
             let settle = |cluster: &mut DynCluster| {
                 cluster

@@ -13,7 +13,7 @@
 //! types *and* keeps per-op cost flat: no [`RegisterOps::snapshot`]
 //! clone, no rescan of the recorded operations, however long the run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 
 use rand::rngs::StdRng;
@@ -137,14 +137,17 @@ pub fn run_closed_loop(
     let n_readers = cluster.cfg().r;
     let mut next_value = 1u64;
     let mut issued = 0u64;
-    // Earliest time each client may issue again (think time gate).
-    let mut ready_at: HashMap<u32, u64> = HashMap::new();
+    // Earliest time each client may issue again (think time gate). A
+    // BTreeMap, not a HashMap: the no-progress jump below iterates the
+    // gate values, and everything iterated on the driving path must have
+    // a deterministic order (D1 nondet-order).
+    let mut ready_at: BTreeMap<u32, u64> = BTreeMap::new();
     // A client is idle when it has no outstanding op (an O(1) query on
     // the history's counters — no snapshot, no per-op rescan) and its
     // think-time gate has passed.
     fn is_idle(
         cluster: &dyn RegisterOps,
-        ready_at: &HashMap<u32, u64>,
+        ready_at: &BTreeMap<u32, u64>,
         proc: u32,
         now: u64,
     ) -> bool {

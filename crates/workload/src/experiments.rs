@@ -842,6 +842,8 @@ pub fn e14_scale(sizes: &[u64]) -> Table {
                 .seed(14)
                 .build(id)
                 .expect("checked feasible above");
+            // fastreg-lint: allow(wall-clock): wall-time report row only; never feeds a verdict, trace, or fingerprint
+            #[allow(clippy::disallowed_methods)]
             let start = Instant::now();
             let rep =
                 run_closed_loop(&mut c, &spec).unwrap_or_else(|e| panic!("E14: {id} stalled: {e}"));
@@ -1080,6 +1082,8 @@ pub fn e16_store(headline_ops: u64, threads: usize) -> Table {
             dist,
             seed: 16,
         };
+        // fastreg-lint: allow(wall-clock): wall-time report row only; never feeds a verdict, trace, or fingerprint
+        #[allow(clippy::disallowed_methods)]
         let start = Instant::now();
         let (_, report) = run_kv_workload(store, &spec, threads)
             .unwrap_or_else(|e| panic!("E16: {label} store stalled: {e}"));
@@ -1175,6 +1179,8 @@ pub fn e17_rt_throughput(n_ops: u64, workers: &[usize], assert_scaling: bool) ->
                 think_time: 0,
                 seed: 17,
             };
+            // fastreg-lint: allow(wall-clock): wall-time report row only; never feeds a verdict, trace, or fingerprint
+            #[allow(clippy::disallowed_methods)]
             let start = Instant::now();
             let rep = run_closed_loop(&mut c, &spec)
                 .unwrap_or_else(|e| panic!("E17: {id} stalled at workers={w}: {e}"));

@@ -27,7 +27,9 @@ fn automata<P: ProtocolFamily>(
     v
 }
 
+#[allow(clippy::disallowed_methods)]
 fn wait_for(history: &SharedHistory, n: usize) {
+    // fastreg-lint: allow(wall-clock): test-harness timeout on a real-threads run; no simulated clock exists here
     let start = std::time::Instant::now();
     while history.completed_count() < n {
         assert!(

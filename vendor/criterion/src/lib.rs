@@ -13,6 +13,10 @@
 //!   mean — enough to eyeball regressions locally without any external
 //!   dependency.
 
+// A benchmark harness exists to measure wall time; exempt the vendored
+// stub from the workspace-wide `disallowed-methods` mirror of lint D2.
+#![allow(clippy::disallowed_methods)]
+
 use std::fmt;
 use std::time::{Duration, Instant};
 
