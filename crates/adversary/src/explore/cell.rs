@@ -16,9 +16,11 @@ use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 
 use fastreg::config::ClusterConfig;
-use fastreg::harness::{ClusterBuilder, RegisterOps};
+use fastreg::harness::{ClusterBuilder, RegisterOps, SimControl};
 use fastreg::protocols::registry::{Contract, ProtocolId};
-use fastreg_atomicity::verdict::Verdict;
+use fastreg_atomicity::history::HistoryEvent;
+use fastreg_atomicity::streaming::{StreamingChecker, StreamingLinChecker};
+use fastreg_atomicity::verdict::{Verdict, ViolationKind};
 use fastreg_simnet::fault::{FaultEvent, FaultKind, FaultScript};
 
 /// The fault-schedule family a cell draws from — one axis of the
@@ -104,9 +106,52 @@ pub struct CellOutcome {
     pub fingerprint: u64,
     /// Operations issued (invoked; completion depends on the schedule).
     pub ops_issued: u64,
+    /// `true` when the schedule was abandoned at the first proven
+    /// violation (see [`Cell::run_early_exit`]) instead of running to
+    /// completion. Early-exited fingerprints identify the truncated run,
+    /// not the full one.
+    pub early_exited: bool,
     /// The rendered history — populated only for violations, where a
     /// human will want to look.
     pub history: Option<String>,
+}
+
+/// The streaming tripwire an early-exit run feeds as operations settle:
+/// the same contract dispatch as [`Cell::contract`]'s verdict, but
+/// online, so a doomed schedule is abandoned the moment a violation is
+/// proven.
+enum Tripwire {
+    // Boxed: the SWMR checker is an order of magnitude larger than the
+    // lin checker, and one tripwire lives per early-exit cell run.
+    Swmr(Box<StreamingChecker>),
+    Lin(StreamingLinChecker),
+}
+
+impl Tripwire {
+    fn for_contract(contract: Contract, w: u32) -> Tripwire {
+        match contract {
+            Contract::Atomic if w <= 1 => Tripwire::Swmr(Box::new(StreamingChecker::new_atomic())),
+            Contract::Regular => Tripwire::Swmr(Box::new(StreamingChecker::new_regular())),
+            Contract::Atomic | Contract::Unsound => Tripwire::Lin(StreamingLinChecker::new()),
+        }
+    }
+
+    fn on_events(&mut self, events: &[HistoryEvent]) {
+        match self {
+            Tripwire::Swmr(c) => c.on_events(events),
+            Tripwire::Lin(c) => c.on_events(events),
+        }
+    }
+
+    /// The violation proven so far, if any — `CheckerLimit` is the
+    /// oracle giving up, not a proof, so it never trips the wire.
+    fn proven(&self) -> Option<ViolationKind> {
+        let kind = match self {
+            Tripwire::Swmr(c) => c.violation(),
+            Tripwire::Lin(c) => c.violation(),
+        }?;
+        (kind != ViolationKind::CheckerLimit).then_some(kind)
+    }
 }
 
 /// SplitMix64 — the per-cell seed derivation (and the only hash this
@@ -236,6 +281,22 @@ impl Cell {
         self.run_with(&self.generate_faults())
     }
 
+    /// Runs the cell like [`Cell::run`], but feeds a streaming checker
+    /// as operations settle and abandons the schedule at the first
+    /// *proven* violation (first-violation mode). A clean run is
+    /// byte-identical to [`Cell::run`]'s — journaling does not perturb
+    /// the schedule — while a violating run returns as soon as the
+    /// violation is provable, with
+    /// [`early_exited`](CellOutcome::early_exited) set.
+    pub fn run_early_exit(&self) -> CellOutcome {
+        self.run_with_early_exit(&self.generate_faults())
+    }
+
+    /// [`Cell::run_early_exit`] under an explicit fault script.
+    pub fn run_with_early_exit(&self, faults: &FaultScript) -> CellOutcome {
+        self.run_with_mode(faults, true)
+    }
+
     /// Runs the cell under an explicit fault script (the replay and
     /// shrink entry point).
     ///
@@ -248,6 +309,10 @@ impl Cell {
     /// final drain, so parked messages surface late like the paper's
     /// `prA`).
     pub fn run_with(&self, faults: &FaultScript) -> CellOutcome {
+        self.run_with_mode(faults, false)
+    }
+
+    fn run_with_mode(&self, faults: &FaultScript, early_exit: bool) -> CellOutcome {
         let mut cluster = ClusterBuilder::new(self.cfg)
             .seed(self.seed)
             .build_unchecked(self.protocol);
@@ -261,6 +326,12 @@ impl Cell {
         let mut next_value = 1u64;
         let mut issued = 0u64;
         let mut writer_armed = false;
+        let mut tripwire = if early_exit {
+            cluster.start_history_journal();
+            Some(Tripwire::for_contract(self.contract(), self.cfg.w))
+        } else {
+            None
+        };
 
         // --- Phase 1: interleave ops, faults and deliveries. ------------
         for round in 0..self.rounds() {
@@ -328,10 +399,16 @@ impl Cell {
             if rng.gen_bool(0.5) {
                 cluster.step_random();
             }
+            if let Some(out) = poll_tripwire(&mut *cluster, &mut tripwire, issued) {
+                return out;
+            }
         }
 
         // --- Phase 2: drain everything deliverable. ---------------------
         cluster.run_random_until_quiescent();
+        if let Some(out) = poll_tripwire(&mut *cluster, &mut tripwire, issued) {
+            return out;
+        }
 
         // --- Phase 3: expose — sequential reads under the partition. ----
         for i in 0..self.cfg.r {
@@ -340,6 +417,9 @@ impl Cell {
             if !cluster.client_busy(layout.reader(i).index()) {
                 cluster.read_async(i);
                 cluster.run_random_until_quiescent();
+            }
+            if let Some(out) = poll_tripwire(&mut *cluster, &mut tripwire, issued) {
+                return out;
             }
         }
 
@@ -354,12 +434,32 @@ impl Cell {
             verdict,
             fingerprint: cluster.trace_fingerprint(),
             ops_issued: issued,
+            early_exited: false,
             history: match verdict {
                 Verdict::Clean => None,
                 Verdict::Violation(_) => Some(cluster.snapshot().render()),
             },
         }
     }
+}
+
+/// Feeds the tripwire everything journaled since the last poll; a
+/// proven violation becomes the early-exit outcome.
+fn poll_tripwire(
+    cluster: &mut dyn SimControl,
+    tripwire: &mut Option<Tripwire>,
+    issued: u64,
+) -> Option<CellOutcome> {
+    let t = tripwire.as_mut()?;
+    t.on_events(&cluster.drain_history_events());
+    let kind = t.proven()?;
+    Some(CellOutcome {
+        verdict: Verdict::Violation(kind),
+        fingerprint: cluster.trace_fingerprint(),
+        ops_issued: issued,
+        early_exited: true,
+        history: Some(cluster.snapshot().render()),
+    })
 }
 
 #[cfg(test)]
@@ -433,6 +533,50 @@ mod tests {
         let mwmr = ClusterConfig::mwmr(3, 1, 2, 2).unwrap();
         let c = cell(ProtocolId::MwmrNaiveFast, mwmr, 0, FaultDistribution::Calm);
         assert_eq!(c.expectation(), CellExpectation::MayViolate);
+    }
+
+    #[test]
+    fn early_exit_is_identical_on_clean_cells() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        for dist in FaultDistribution::ALL {
+            let c = cell(ProtocolId::FastCrash, cfg, 21, dist);
+            let full = c.run();
+            let fast = c.run_early_exit();
+            assert!(full.verdict.is_clean(), "{dist}: fixture must be clean");
+            assert!(!fast.early_exited, "{dist}");
+            assert_eq!(full.verdict, fast.verdict, "{dist}");
+            assert_eq!(
+                full.fingerprint, fast.fingerprint,
+                "{dist}: journaling must not perturb the schedule"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_abandons_a_violating_schedule() {
+        // The unsound MWMR candidate violates on the calm schedule; the
+        // early-exit run must stop with a proven violation.
+        let mwmr = ClusterConfig::mwmr(3, 1, 2, 2).unwrap();
+        let mut tripped = false;
+        for seed in 0..16u64 {
+            let c = cell(
+                ProtocolId::MwmrNaiveFast,
+                mwmr,
+                seed,
+                FaultDistribution::Calm,
+            );
+            let fast = c.run_early_exit();
+            if fast.early_exited {
+                assert!(fast.verdict.is_proven_violation());
+                assert!(fast.history.is_some(), "violations carry the history");
+                assert!(
+                    !c.run().verdict.is_clean(),
+                    "seed {seed}: the full run must also violate"
+                );
+                tripped = true;
+            }
+        }
+        assert!(tripped, "no seed tripped the wire");
     }
 
     #[test]

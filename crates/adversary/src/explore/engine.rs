@@ -65,6 +65,13 @@ pub struct ExploreConfig {
     pub ops: u32,
     /// Base seed; each cell's seed is derived from this and its index.
     pub base_seed: u64,
+    /// Run cells in first-violation mode ([`Cell::run_early_exit`]):
+    /// doomed schedules are abandoned the moment a violation is proven
+    /// instead of running to completion. Verdict *codes* and findings
+    /// are unchanged (violating cells are re-run in full before
+    /// shrinking, so counterexample bytes still replay); only
+    /// early-exited fingerprints differ. Off by default.
+    pub early_exit: bool,
     /// The grid (defaults to [`default_grid`]).
     pub grid: Vec<GridPoint>,
 }
@@ -76,6 +83,7 @@ impl Default for ExploreConfig {
             threads: 1,
             ops: 8,
             base_seed: 0,
+            early_exit: false,
             grid: default_grid(),
         }
     }
@@ -170,8 +178,14 @@ impl ExploreReport {
 /// identical for any thread count.
 pub fn explore(config: &ExploreConfig) -> ExploreReport {
     let cells = config.cell_list();
-    let outcomes: Vec<CellOutcome> =
-        map_ordered(cells.clone(), config.threads, |_, cell| cell.run());
+    let early = config.early_exit;
+    let outcomes: Vec<CellOutcome> = map_ordered(cells.clone(), config.threads, move |_, cell| {
+        if early {
+            cell.run_early_exit()
+        } else {
+            cell.run()
+        }
+    });
 
     // Shrink the proven violations — independent work, same ordered
     // pool. `CheckerLimit` outcomes (the oracle gave up on an oversized
@@ -189,6 +203,15 @@ pub fn explore(config: &ExploreConfig) -> ExploreReport {
         violating,
         config.threads,
         |_, (cell_index, cell, outcome)| {
+            // Shrinking compares against full-run identities, so an
+            // early-exited outcome (truncated fingerprint) is refreshed
+            // with one complete run first. Proven violations are
+            // monotone in the event stream: the full run still violates.
+            let outcome = if outcome.early_exited {
+                cell.run()
+            } else {
+                outcome
+            };
             let faults = cell.generate_faults();
             let (counterexample, stats) = shrink(&cell, &faults, &outcome);
             Finding {
@@ -220,6 +243,7 @@ mod tests {
             threads,
             ops: 6,
             base_seed: 0xe15,
+            early_exit: false,
             grid: default_grid(),
         }
     }
@@ -245,6 +269,41 @@ mod tests {
     }
 
     #[test]
+    fn early_exit_mode_finds_the_same_violations() {
+        let full = explore(&small_config(2));
+        let fast = explore(&ExploreConfig {
+            early_exit: true,
+            ..small_config(2)
+        });
+        assert_eq!(full.cells.len(), fast.cells.len());
+        for (a, b) in full.cells.iter().zip(&fast.cells) {
+            // Verdicts agree whenever the fast run completed; an
+            // early-exited cell instead carries some proven violation of
+            // a prefix of the same schedule.
+            if b.outcome.early_exited {
+                assert!(b.outcome.verdict.is_proven_violation());
+                assert!(
+                    !a.outcome.verdict.is_clean(),
+                    "early exit fired on a schedule whose full run is clean"
+                );
+            } else {
+                assert_eq!(a.outcome.verdict, b.outcome.verdict);
+                assert_eq!(a.outcome.fingerprint, b.outcome.fingerprint);
+            }
+        }
+        // The packaged findings are byte-identical: shrinking starts from
+        // a refreshed full run either way.
+        assert_eq!(full.findings.len(), fast.findings.len());
+        for (a, b) in full.findings.iter().zip(&fast.findings) {
+            assert_eq!(a.cell_index, b.cell_index);
+            assert_eq!(a.counterexample.render(), b.counterexample.render());
+        }
+        // Whether any cell actually trips mid-schedule depends on where
+        // in the run its violation becomes provable — the cell-level
+        // tests pin that; here only the equivalence above is load-bearing.
+    }
+
+    #[test]
     fn checker_limit_is_not_classified_as_a_protocol_bug() {
         use fastreg::config::ClusterConfig;
         use fastreg_atomicity::verdict::{Verdict, ViolationKind};
@@ -257,6 +316,7 @@ mod tests {
             threads: 1,
             ops: 200,
             base_seed: 1,
+            early_exit: false,
             grid: vec![GridPoint {
                 protocol: ProtocolId::MwmrAbd,
                 cfg: ClusterConfig::mwmr(3, 1, 2, 2).unwrap(),

@@ -117,6 +117,36 @@ impl Operation {
     }
 }
 
+/// One invocation or response event, as recorded into a [`History`].
+///
+/// Histories can journal their events (see
+/// [`enable_journal`](History::enable_journal)) so a streaming checker can
+/// consume the run *as it happens* instead of snapshotting the full
+/// operation list at the end.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HistoryEvent {
+    /// An operation was invoked.
+    Invoked {
+        /// The new operation's id.
+        id: OpId,
+        /// The invoking client.
+        proc: u32,
+        /// Read or write.
+        kind: OpKind,
+        /// Invocation tick.
+        at: Tick,
+    },
+    /// An operation responded.
+    Responded {
+        /// The responding operation's id.
+        id: OpId,
+        /// For reads: the value returned.
+        returned: Option<RegValue>,
+        /// Response tick.
+        at: Tick,
+    },
+}
+
 /// A recorded history of operations, in invocation order.
 ///
 /// Alongside the operation list, the history maintains O(1) completion
@@ -135,12 +165,47 @@ pub struct History {
     pending_by_proc: std::collections::BTreeMap<u32, u32>,
     /// Completed operations per client (maintained by `respond`).
     completed_by_proc: std::collections::BTreeMap<u32, u64>,
+    /// When `Some`, every invoke/respond is also appended here, for
+    /// streaming consumers. `None` (the default) costs nothing.
+    journal: Option<Vec<HistoryEvent>>,
 }
 
 impl History {
     /// Creates an empty history.
     pub fn new() -> Self {
         History::default()
+    }
+
+    /// Creates an empty history with room for `n_ops` operations, so
+    /// large closed-loop runs record without reallocating mid-flight.
+    pub fn with_capacity(n_ops: usize) -> Self {
+        History {
+            ops: Vec::with_capacity(n_ops),
+            ..History::default()
+        }
+    }
+
+    /// Reserves room for at least `additional` more operations.
+    pub fn reserve(&mut self, additional: usize) {
+        self.ops.reserve(additional);
+    }
+
+    /// Turns on event journalling: from now on every invoke/respond is
+    /// also appended to an internal event list that
+    /// [`drain_journal`](History::drain_journal) hands out. Idempotent.
+    pub fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Takes the journalled events accumulated since the last drain.
+    /// Returns an empty vec when journalling was never enabled.
+    pub fn drain_journal(&mut self) -> Vec<HistoryEvent> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
     }
 
     /// Records the invocation of `write(value)` by `proc` at `at`.
@@ -165,6 +230,9 @@ impl History {
             returned: None,
         });
         *self.pending_by_proc.entry(proc).or_insert(0) += 1;
+        if let Some(j) = &mut self.journal {
+            j.push(HistoryEvent::Invoked { id, proc, kind, at });
+        }
         id
     }
 
@@ -187,6 +255,9 @@ impl History {
         op.returned = returned;
         self.completed += 1;
         let proc = op.proc;
+        if let Some(j) = &mut self.journal {
+            j.push(HistoryEvent::Responded { id, returned, at });
+        }
         *self.completed_by_proc.entry(proc).or_insert(0) += 1;
         if let std::collections::btree_map::Entry::Occupied(mut e) =
             self.pending_by_proc.entry(proc)
@@ -304,6 +375,29 @@ impl SharedHistory {
     /// Creates an empty shared history.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty shared history with room for `n_ops` operations.
+    pub fn with_capacity(n_ops: usize) -> Self {
+        SharedHistory {
+            inner: Arc::new(Mutex::new(History::with_capacity(n_ops))),
+        }
+    }
+
+    /// Reserves room for at least `additional` more operations.
+    pub fn reserve(&self, additional: usize) {
+        self.inner.lock().reserve(additional);
+    }
+
+    /// Turns on event journalling (see [`History::enable_journal`]).
+    pub fn enable_journal(&self) {
+        self.inner.lock().enable_journal();
+    }
+
+    /// Takes the journalled events accumulated since the last drain (see
+    /// [`History::drain_journal`]).
+    pub fn drain_journal(&self) -> Vec<HistoryEvent> {
+        self.inner.lock().drain_journal()
     }
 
     /// Records a `write` invocation.
@@ -478,6 +572,67 @@ mod tests {
         let snap = sh.snapshot();
         assert_eq!(snap.len(), 1);
         assert!(snap.get(w).unwrap().is_complete());
+    }
+
+    #[test]
+    fn journal_captures_events_in_order_and_drains() {
+        let mut h = History::new();
+        // Events before enabling are not journalled.
+        let w0 = h.invoke_write(0, 1, 0);
+        h.respond(w0, None, 1);
+        h.enable_journal();
+        let w = h.invoke_write(0, 5, 2);
+        let r = h.invoke_read(1, 3);
+        h.respond(w, None, 4);
+        let events = h.drain_journal();
+        assert_eq!(
+            events,
+            vec![
+                HistoryEvent::Invoked {
+                    id: w,
+                    proc: 0,
+                    kind: OpKind::Write { value: 5 },
+                    at: 2
+                },
+                HistoryEvent::Invoked {
+                    id: r,
+                    proc: 1,
+                    kind: OpKind::Read,
+                    at: 3
+                },
+                HistoryEvent::Responded {
+                    id: w,
+                    returned: None,
+                    at: 4
+                },
+            ]
+        );
+        // Drained; the next drain only sees new events.
+        h.respond(r, Some(RegValue::Val(5)), 5);
+        let events = h.drain_journal();
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], HistoryEvent::Responded { id, .. } if id == r));
+    }
+
+    #[test]
+    fn drain_without_journal_is_empty() {
+        let mut h = History::new();
+        let w = h.invoke_write(0, 1, 0);
+        h.respond(w, None, 1);
+        assert_eq!(h.drain_journal(), vec![]);
+    }
+
+    #[test]
+    fn with_capacity_starts_empty() {
+        let h = History::with_capacity(1024);
+        assert!(h.is_empty());
+        let sh = SharedHistory::with_capacity(1024);
+        assert_eq!(sh.recorded_count(), 0);
+        sh.reserve(16);
+        sh.enable_journal();
+        let w = sh.invoke_write(0, 1, 0);
+        sh.respond(w, None, 1);
+        assert_eq!(sh.drain_journal().len(), 2);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   fast regular registers with fast atomic ones).
 //! * [`verdict`] — checker outcomes as stable serializable codes, the
 //!   form schedule-exploration counterexample files store and compare.
+//! * [`streaming`] — incremental (bounded-memory, online) and parallel
+//!   (epoch-partitioned) forms of the same checks, emitting identical
+//!   verdict codes.
 //!
 //! ## Example
 //!
@@ -43,11 +46,17 @@
 pub mod history;
 pub mod linearizability;
 pub mod regularity;
+pub mod streaming;
 pub mod swmr;
 pub mod verdict;
 
-pub use history::{History, OpId, OpKind, Operation, RegValue, SharedHistory};
+pub use history::{History, HistoryEvent, OpId, OpKind, Operation, RegValue, SharedHistory};
 pub use linearizability::{check_linearizable, LinCheckError};
 pub use regularity::check_swmr_regularity;
+pub use streaming::{
+    check_swmr_atomicity_parallel, check_swmr_regularity_parallel, replay_events,
+    stream_lin_verdict, stream_regularity_verdict, stream_swmr_verdict, StreamingChecker,
+    StreamingLinChecker,
+};
 pub use swmr::{check_swmr_atomicity, AtomicityViolation};
 pub use verdict::{UnknownVerdict, Verdict, ViolationKind};

@@ -1,0 +1,34 @@
+//! Streaming, parallel consistency checking.
+//!
+//! The batch checkers ([`swmr`](crate::swmr),
+//! [`regularity`](crate::regularity),
+//! [`linearizability`](crate::linearizability)) consume a complete
+//! [`History`](crate::history::History); at millions of operations the
+//! check dominates wall time and the history dominates memory. This module
+//! provides the same verdicts in two cheaper shapes:
+//!
+//! * [`online`] — an incremental checker ([`StreamingChecker`]) that
+//!   accepts [`HistoryEvent`](crate::history::HistoryEvent)s as they
+//!   happen, keeps only the *frontier* (pending operations plus the
+//!   undominated settled suffix) resident, and answers with the same
+//!   stable [`Verdict`](crate::verdict::Verdict) codes as the batch path.
+//!   [`StreamingLinChecker`] is the linearizability (W>1) counterpart.
+//! * [`epochs`] — intra-history parallelism for complete histories: the
+//!   operation stream is partitioned into precedence-closed epochs and the
+//!   epochs are checked across
+//!   [`map_ordered`](fastreg_simnet::threaded::map_ordered) workers, with
+//!   verdicts independent of the worker count.
+//!
+//! Streaming vs batch: use the batch checkers when you need the *typed*
+//! violation payload (operation ids, indices) for a failure report; use
+//! streaming when the history is large, when you want the verdict to be
+//! ready the moment the run ends, or when you want to abandon a doomed run
+//! at the first proven violation. Both emit identical verdict codes.
+
+pub mod epochs;
+pub mod lin;
+pub mod online;
+
+pub use epochs::{check_swmr_atomicity_parallel, check_swmr_regularity_parallel};
+pub use lin::{stream_lin_verdict, StreamingLinChecker};
+pub use online::{replay_events, stream_regularity_verdict, stream_swmr_verdict, StreamingChecker};

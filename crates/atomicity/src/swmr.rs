@@ -263,8 +263,10 @@ fn collect_writes(history: &History) -> Result<Vec<&Operation>, AtomicityViolati
 
 /// Maps each written value to its 1-based write index.
 #[allow(clippy::disallowed_types)]
-// fastreg-lint: allow(nondet-order): O(1) keyed lookup on the checker hot path; only get/insert, never iterated
-fn index_writes(writes: &[&Operation]) -> Result<HashMap<u64, usize>, AtomicityViolation> {
+pub(crate) fn index_writes(
+    writes: &[&Operation],
+    // fastreg-lint: allow(nondet-order): O(1) keyed lookup on the checker hot path; only get/insert, never iterated
+) -> Result<HashMap<u64, usize>, AtomicityViolation> {
     // fastreg-lint: allow(nondet-order): same map as the signature above
     let mut index_of = HashMap::new();
     for (i, w) in writes.iter().enumerate() {

@@ -36,6 +36,7 @@ fn batch(threads: usize) -> ExploreConfig {
         threads,
         ops: 8,
         base_seed: 0xbe9c4,
+        early_exit: false,
         grid: clean_grid(),
     }
 }

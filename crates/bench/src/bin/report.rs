@@ -184,6 +184,19 @@ fn experiments(quick: bool) -> Vec<Experiment<'static>> {
                     .render()
             }),
         },
+        Experiment {
+            id: "e18",
+            title: "E18 — checker throughput: streaming vs batch to 1M ops, bounded frontier",
+            // The 1M-op point runs in quick mode too — bounded-memory
+            // streaming at scale is the experiment's claim. The batch
+            // checker is quadratic in reads, so it stops at the cap
+            // (10k quick / 100k full); the >= 5x speedup assert is
+            // conservative because batch throughput only falls with n.
+            run: Box::new(move || {
+                let batch_cap = if quick { 10_000 } else { 100_000 };
+                exp::e18_checker_throughput(&[10_000, 100_000, 1_000_000], batch_cap, 4).render()
+            }),
+        },
     ]
 }
 
@@ -387,6 +400,7 @@ fn explore_main(args: &[String]) -> ExitCode {
         threads,
         ops: budget,
         base_seed: seed,
+        early_exit: true,
         grid: default_grid(),
     };
     let report = explore(&config);

@@ -81,7 +81,7 @@
 
 use std::fmt;
 
-use fastreg_atomicity::history::{History, SharedHistory};
+use fastreg_atomicity::history::{History, HistoryEvent, SharedHistory};
 use fastreg_atomicity::linearizability::{check_linearizable, LinCheckError};
 use fastreg_atomicity::regularity::{check_swmr_regularity, RegularityViolation};
 use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
@@ -1102,6 +1102,29 @@ pub trait RegisterOps {
     /// Total messages sent so far.
     fn messages_sent(&self) -> u64;
 
+    /// Pre-sizes the history for `additional` further operations, where
+    /// the runtime exposes its history (no-op otherwise). Drivers that
+    /// know the op count up front call this once to avoid growth
+    /// reallocations on multi-million-op runs.
+    fn reserve_history(&mut self, _additional: usize) {}
+
+    /// Switches the history to journaling mode so operation events can be
+    /// drained incrementally via
+    /// [`drain_history_events`](RegisterOps::drain_history_events).
+    /// Returns `false` where the runtime does not expose its history —
+    /// callers fall back to replaying a final snapshot.
+    fn start_history_journal(&mut self) -> bool {
+        false
+    }
+
+    /// Drains the events journaled since the last drain (empty when the
+    /// journal was never enabled or the runtime does not expose its
+    /// history). Events come out in record order, ready for the streaming
+    /// checkers.
+    fn drain_history_events(&mut self) -> Vec<HistoryEvent> {
+        Vec::new()
+    }
+
     /// Invokes `write(value)` at writer 0 without settling.
     fn write(&mut self, value: Value) {
         self.write_by(0, value);
@@ -1241,6 +1264,19 @@ impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
 
     fn messages_sent(&self) -> u64 {
         self.world.stats().sent
+    }
+
+    fn reserve_history(&mut self, additional: usize) {
+        self.history.reserve(additional);
+    }
+
+    fn start_history_journal(&mut self) -> bool {
+        self.history.enable_journal();
+        true
+    }
+
+    fn drain_history_events(&mut self) -> Vec<HistoryEvent> {
+        self.history.drain_journal()
     }
 }
 
@@ -1467,6 +1503,18 @@ impl RegisterOps for DynCluster {
 
     fn messages_sent(&self) -> u64 {
         self.ops().messages_sent()
+    }
+
+    fn reserve_history(&mut self, additional: usize) {
+        self.ops_mut().reserve_history(additional);
+    }
+
+    fn start_history_journal(&mut self) -> bool {
+        self.ops_mut().start_history_journal()
+    }
+
+    fn drain_history_events(&mut self) -> Vec<HistoryEvent> {
+        self.ops_mut().drain_history_events()
     }
 }
 

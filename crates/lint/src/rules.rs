@@ -1,4 +1,4 @@
-//! The five workspace invariants, as named rules with spans.
+//! The six workspace invariants, as named rules with spans.
 //!
 //! | id | code | invariant |
 //! |----|------|-----------|
@@ -7,9 +7,11 @@
 //! | D3 | `substrate-isolation` | simnet-only controls (`SimControl` & friends, fault-script types) never referenced from the threads substrate |
 //! | D4 | `panic-hygiene` | no `settle()`/`run_until_quiescent_or_panic`/bare `unwrap()` in non-test protocol/checker library code |
 //! | D5 | `registry-completeness` | every `ProtocolId` variant has a registry entry, a `build_threads` constructor and a conformance appearance |
+//! | D6 | `thread-spawn` | raw thread creation (`thread::spawn`/`thread::Builder`) only in `crates/rt` and `simnet/src/threaded.rs` |
 //!
-//! D1–D4 are per-line token rules scoped by repo-relative path; D5 is a
-//! cross-file rule over `registry.rs` and `tests/protocol_conformance.rs`.
+//! D1–D4 and D6 are per-line token rules scoped by repo-relative path;
+//! D5 is a cross-file rule over `registry.rs` and
+//! `tests/protocol_conformance.rs`.
 //! Any finding can be waived *with a written justification* via
 //! `// fastreg-lint: allow(<code>): <reason>` on (or directly above) the
 //! offending line; waived findings stay visible in the report.
@@ -18,7 +20,7 @@ use std::fmt;
 
 use crate::scanner::{find_token, Scanned};
 
-/// One of the five enforced invariants.
+/// One of the six enforced invariants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: nondeterministic iteration order on a verdict-feeding path.
@@ -31,16 +33,19 @@ pub enum Rule {
     PanicHygiene,
     /// D5: a `ProtocolId` variant not wired through registry + conformance.
     RegistryCompleteness,
+    /// D6: raw thread creation outside the sanctioned runtime sites.
+    ThreadSpawn,
 }
 
 impl Rule {
-    /// Every rule, in D1..D5 order.
-    pub const ALL: [Rule; 5] = [
+    /// Every rule, in D1..D6 order.
+    pub const ALL: [Rule; 6] = [
         Rule::NondetOrder,
         Rule::WallClock,
         Rule::SubstrateIsolation,
         Rule::PanicHygiene,
         Rule::RegistryCompleteness,
+        Rule::ThreadSpawn,
     ];
 
     /// Stable kebab-case code — the name used in allow annotations and
@@ -52,10 +57,11 @@ impl Rule {
             Rule::SubstrateIsolation => "substrate-isolation",
             Rule::PanicHygiene => "panic-hygiene",
             Rule::RegistryCompleteness => "registry-completeness",
+            Rule::ThreadSpawn => "thread-spawn",
         }
     }
 
-    /// Short id (`D1`..`D5`).
+    /// Short id (`D1`..`D6`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::NondetOrder => "D1",
@@ -63,6 +69,7 @@ impl Rule {
             Rule::SubstrateIsolation => "D3",
             Rule::PanicHygiene => "D4",
             Rule::RegistryCompleteness => "D5",
+            Rule::ThreadSpawn => "D6",
         }
     }
 
@@ -88,6 +95,11 @@ impl Rule {
             Rule::RegistryCompleteness => {
                 "every ProtocolId variant needs an ALL slot, a registry entry with \
                  build_threads, and a protocol_conformance appearance"
+            }
+            Rule::ThreadSpawn => {
+                "thread::spawn/thread::Builder only in crates/rt and \
+                 simnet/src/threaded.rs — everything else goes through the \
+                 runtime or the ordered worker pool"
             }
         }
     }
@@ -170,6 +182,14 @@ fn d4_scope(p: &str) -> bool {
             || p == "crates/store/src/checker.rs")
 }
 
+/// D6 exemptions: the only places allowed to create OS threads. The
+/// actor runtime and the ordered worker pool are the two sanctioned
+/// substrates; everything else must go through them so thread counts
+/// stay a tuning knob, never an observable.
+fn d6_exempt(p: &str) -> bool {
+    p.starts_with("crates/rt/") || p == "crates/simnet/src/threaded.rs"
+}
+
 const D1_TOKENS: &[&str] = &["HashMap", "HashSet"];
 const D2_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
 const D3_TOKENS: &[&str] = &[
@@ -184,6 +204,7 @@ const D3_TOKENS: &[&str] = &[
     "FaultKind",
 ];
 const D4_TOKENS: &[&str] = &[".unwrap()", ".settle()", "run_until_quiescent_or_panic"];
+const D6_TOKENS: &[&str] = &["thread::spawn", "thread::Builder"];
 
 /// Applies the per-line rules D1–D4 to one scanned file.
 pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Finding> {
@@ -199,6 +220,9 @@ pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Finding> {
     }
     if d4_scope(path) {
         rules.push((Rule::PanicHygiene, D4_TOKENS, true));
+    }
+    if !d6_exempt(path) {
+        rules.push((Rule::ThreadSpawn, D6_TOKENS, false));
     }
     let mut findings = Vec::new();
     for line in &scanned.lines {
@@ -422,6 +446,20 @@ mod tests {
             check_file("crates/atomicity/tests/properties.rs", &s).len(),
             0
         );
+    }
+
+    #[test]
+    fn d6_exempts_only_the_thread_substrates() {
+        let s = scan("let h = std::thread::spawn(|| ());\n");
+        assert_eq!(check_file("crates/workload/src/driver.rs", &s).len(), 1);
+        assert_eq!(check_file("crates/rt/src/lib.rs", &s).len(), 0);
+        assert_eq!(check_file("crates/simnet/src/threaded.rs", &s).len(), 0);
+        // thread::Builder is the same capability under another name.
+        let b = scan("let b = std::thread::Builder::new();\n");
+        assert_eq!(check_file("crates/core/src/quorum.rs", &b).len(), 1);
+        // A method named spawn on some pool type is not thread::spawn.
+        let p = scan("let pool = ActorPool::spawn(automata, cfg);\n");
+        assert_eq!(check_file("crates/workload/src/driver.rs", &p).len(), 0);
     }
 
     #[test]

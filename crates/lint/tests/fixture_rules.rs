@@ -130,6 +130,39 @@ fn d4_annotation_waives() {
 }
 
 #[test]
+fn d6_positive_gates_spawn_and_builder() {
+    let r = scan("d6/pos");
+    let gating: Vec<_> = r.unannotated().collect();
+    assert_eq!(gating.len(), 2, "{}", r.table());
+    for f in &gating {
+        assert_eq!(f.rule, Rule::ThreadSpawn);
+        assert_eq!(f.file, "crates/workload/src/lib.rs");
+    }
+    assert_eq!(gating[0].line, 2, "the std::thread::spawn call");
+    assert_eq!(gating[1].line, 7, "the std::thread::Builder path");
+}
+
+#[test]
+fn d6_negative_exempts_the_thread_substrates() {
+    // Raw spawns in crates/rt and simnet/src/threaded.rs are the point;
+    // mentions in comments and string literals are not calls.
+    let r = scan("d6/neg");
+    assert_eq!(r.findings, vec![], "{}", r.table());
+    assert_eq!(r.files_scanned, 3);
+}
+
+#[test]
+fn d6_annotation_waives() {
+    let r = scan("d6/allowed");
+    assert_eq!(r.findings.len(), 1, "{}", r.table());
+    assert_eq!(r.unannotated().count(), 0);
+    assert_eq!(
+        r.findings[0].allowed.as_deref(),
+        Some("one-shot watchdog, joined before any verdict is read")
+    );
+}
+
+#[test]
 fn d5_positive_names_every_missing_wire() {
     let r = scan("d5/pos");
     assert_eq!(r.registry_variants, 3);

@@ -1,0 +1,5 @@
+pub fn watchdog() -> i32 {
+    // fastreg-lint: allow(thread-spawn): one-shot watchdog, joined before any verdict is read
+    let h = std::thread::spawn(|| 7);
+    h.join().unwrap_or(0)
+}

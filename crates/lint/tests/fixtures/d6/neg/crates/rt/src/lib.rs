@@ -1,0 +1,8 @@
+pub fn worker() -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("rt-worker".into())
+        .spawn(|| ())?
+        .join()
+        .ok();
+    Ok(())
+}

@@ -1,0 +1,4 @@
+pub fn map_ordered_worker() -> i32 {
+    let h = std::thread::spawn(|| 40 + 2);
+    h.join().unwrap_or(0)
+}

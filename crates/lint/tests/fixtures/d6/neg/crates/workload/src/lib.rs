@@ -1,0 +1,6 @@
+// A comment naming thread::spawn does not fire, and neither does a
+// spawn method on some pool type or the token inside a string literal.
+pub fn through_the_pool() -> &'static str {
+    let _doc = "never call thread::spawn directly";
+    "ActorPool::spawn is the sanctioned path"
+}

@@ -1,0 +1,13 @@
+pub fn fan_out() -> i32 {
+    let h = std::thread::spawn(|| 1 + 1);
+    h.join().unwrap_or(0)
+}
+
+pub fn named_fan_out() -> std::io::Result<()> {
+    std::thread::Builder::new()
+        .name("rogue".into())
+        .spawn(|| ())?
+        .join()
+        .ok();
+    Ok(())
+}

@@ -17,8 +17,12 @@ use fastreg::protocols::registry::{Contract, ProtocolId};
 use fastreg_atomicity::history::{History, OpKind, Operation};
 use fastreg_atomicity::linearizability::check_linearizable;
 use fastreg_atomicity::regularity::check_swmr_regularity;
+use fastreg_atomicity::streaming::{
+    stream_lin_verdict, stream_regularity_verdict, stream_swmr_verdict,
+};
 use fastreg_atomicity::swmr::check_swmr_atomicity;
 use fastreg_atomicity::verdict::Verdict;
+use fastreg_simnet::threaded::map_ordered;
 
 use crate::kv::Key;
 use crate::store::ShardedStore;
@@ -231,6 +235,50 @@ impl StoreChecker {
     pub fn check(store: &ShardedStore) -> StoreCheckReport {
         Self::check_history(store, &store.global_history())
     }
+
+    /// Streaming, parallel form of [`StoreChecker::check_history`]: the
+    /// per-key sub-histories are checked concurrently across `threads`
+    /// [`map_ordered`] workers,
+    /// each running the streaming checkers of
+    /// `fastreg_atomicity::streaming` instead of the batch ones.
+    ///
+    /// The report is identical to [`StoreChecker::check_history`]'s at
+    /// any `threads` value, except that a key whose history overflows the
+    /// batch linearizability oracle may get an exact verdict where the
+    /// batch path reports `checker-limit` (the streaming oracle only
+    /// gives up when a single *epoch* overflows).
+    pub fn check_streaming(
+        store: &ShardedStore,
+        history: &KvHistory,
+        threads: usize,
+    ) -> StoreCheckReport {
+        let router = store.router();
+        let w = store.cfg().w;
+        // Resolve shard/contract metadata up front so the workers only
+        // touch plain data, not the store.
+        let items: Vec<(KeyVerdict, History)> = history
+            .per_key_ops()
+            .into_iter()
+            .map(|(key, ops)| {
+                let shard_index = router.shard_of(key);
+                let shard = &store.shards()[shard_index as usize];
+                let contract = shard.protocol().contract();
+                let seed = KeyVerdict {
+                    key,
+                    shard: shard_index,
+                    protocol: shard.protocol(),
+                    contract,
+                    verdict: Verdict::Clean,
+                };
+                (seed, rebuild(ops.into_iter()))
+            })
+            .collect();
+        let per_key = map_ordered(items, threads, move |_, (seed, sub)| KeyVerdict {
+            verdict: streaming_verdict_for(&sub, seed.contract, w),
+            ..seed
+        });
+        StoreCheckReport { per_key }
+    }
 }
 
 /// Checks one history against a contract, as the registry's
@@ -247,6 +295,16 @@ pub fn verdict_for(history: &History, contract: Contract, w: u32) -> Verdict {
             Verdict::from_linearizable(&check_linearizable(history))
         }
         Contract::Regular => Verdict::from_regularity(&check_swmr_regularity(history)),
+    }
+}
+
+/// [`verdict_for`] with the streaming checkers behind the same contract
+/// dispatch — the kernel [`StoreChecker::check_streaming`] runs per key.
+pub fn streaming_verdict_for(history: &History, contract: Contract, w: u32) -> Verdict {
+    match contract {
+        Contract::Atomic if w <= 1 => stream_swmr_verdict(history),
+        Contract::Atomic | Contract::Unsound => stream_lin_verdict(history),
+        Contract::Regular => stream_regularity_verdict(history),
     }
 }
 
@@ -354,6 +412,31 @@ mod tests {
         ok.respond(r, Some(RegValue::Val(1)), 4);
         for c in [Contract::Atomic, Contract::Regular, Contract::Unsound] {
             assert!(verdict_for(&ok, c, 1).is_clean(), "{c:?}");
+        }
+    }
+
+    #[test]
+    fn streaming_check_agrees_with_batch_at_any_thread_count() {
+        let store = driven_store();
+        let global = store.global_history();
+        let batch = StoreChecker::check_history(&store, &global);
+        for threads in [1, 2, 4] {
+            let streamed = StoreChecker::check_streaming(&store, &global, threads);
+            assert_eq!(streamed.per_key, batch.per_key, "threads = {threads}");
+        }
+        // And on a doctored (violating) history too.
+        let mut doctored = global.clone();
+        for r in &mut doctored.records {
+            if r.op.kind == OpKind::Read && r.op.responded_at.is_some() {
+                r.op.returned = Some(RegValue::Val(424_242));
+                break;
+            }
+        }
+        let batch = StoreChecker::check_history(&store, &doctored);
+        assert!(!batch.is_clean());
+        for threads in [1, 2, 4] {
+            let streamed = StoreChecker::check_streaming(&store, &doctored, threads);
+            assert_eq!(streamed.per_key, batch.per_key, "threads = {threads}");
         }
     }
 

@@ -20,7 +20,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use fastreg::harness::RegisterOps;
-use fastreg_atomicity::history::History;
+use fastreg_atomicity::history::{History, HistoryEvent};
+use fastreg_atomicity::streaming::{replay_events, StreamingChecker, StreamingLinChecker};
+use fastreg_atomicity::verdict::Verdict;
 use fastreg_simnet::world::QuiescenceError;
 
 use crate::metrics::OpBreakdown;
@@ -60,6 +62,16 @@ pub struct WorkloadReport {
     pub messages_sent: u64,
     /// Virtual time at the end of the run.
     pub duration_ticks: u64,
+    /// Verdict from the streaming checker the driver fed as operations
+    /// settled — SWMR atomicity when the deployment has one writer,
+    /// linearizability otherwise. Same codes as running the batch checker
+    /// over [`history`](WorkloadReport::history), available the moment
+    /// the run ends.
+    pub streaming_verdict: Verdict,
+    /// Peak operation count resident in the streaming checker (the
+    /// frontier high-water mark) — bounded by concurrency, not by
+    /// [`n_ops`](WorkloadSpec::n_ops), when the runtime journals events.
+    pub checker_high_water_mark: usize,
     /// The recorded history (checked by the caller).
     pub history: History,
 }
@@ -116,6 +128,47 @@ impl std::error::Error for DriverError {
     }
 }
 
+/// The online checker the driver feeds as operations settle: the SWMR
+/// streaming checker for single-writer deployments, the epoch-chained
+/// linearizability checker otherwise.
+enum LiveChecker {
+    // Boxed: the SWMR checker dwarfs the lin checker, and one lives per
+    // closed-loop run.
+    Swmr(Box<StreamingChecker>),
+    Lin(StreamingLinChecker),
+}
+
+impl LiveChecker {
+    fn for_writers(w: u32) -> LiveChecker {
+        if w <= 1 {
+            LiveChecker::Swmr(Box::new(StreamingChecker::new_atomic()))
+        } else {
+            LiveChecker::Lin(StreamingLinChecker::new())
+        }
+    }
+
+    fn on_events(&mut self, events: &[HistoryEvent]) {
+        match self {
+            LiveChecker::Swmr(c) => c.on_events(events),
+            LiveChecker::Lin(c) => c.on_events(events),
+        }
+    }
+
+    fn verdict(&self) -> Verdict {
+        match self {
+            LiveChecker::Swmr(c) => c.verdict(),
+            LiveChecker::Lin(c) => c.verdict(),
+        }
+    }
+
+    fn high_water_mark(&self) -> usize {
+        match self {
+            LiveChecker::Swmr(c) => c.high_water_mark(),
+            LiveChecker::Lin(c) => c.high_water_mark(),
+        }
+    }
+}
+
 /// Runs a closed-loop workload on a cluster (writer 0 writes; readers
 /// read).
 ///
@@ -135,6 +188,11 @@ pub fn run_closed_loop(
     let layout = cluster.layout();
     let writer = layout.writer(0);
     let n_readers = cluster.cfg().r;
+    cluster.reserve_history(spec.n_ops as usize);
+    // Check online where the runtime journals events; otherwise replay
+    // the final snapshot through the same checker at the end.
+    let journaling = cluster.start_history_journal();
+    let mut checker = LiveChecker::for_writers(cluster.cfg().w);
     let mut next_value = 1u64;
     let mut issued = 0u64;
     // Earliest time each client may issue again (think time gate). A
@@ -193,6 +251,14 @@ pub fn run_closed_loop(
                 cluster.advance_to_ticks(next_ready);
             }
         }
+        if journaling {
+            // Settled ops leave the journal and enter the checker's
+            // frontier: memory stays O(concurrency), not O(n_ops).
+            let events = cluster.drain_history_events();
+            if !events.is_empty() {
+                checker.on_events(&events);
+            }
+        }
     }
     cluster
         .try_settle()
@@ -203,10 +269,17 @@ pub fn run_closed_loop(
         })?;
 
     let history = cluster.snapshot();
+    if journaling {
+        checker.on_events(&cluster.drain_history_events());
+    } else {
+        checker.on_events(&replay_events(&history));
+    }
     Ok(WorkloadReport {
         breakdown: OpBreakdown::of(&history),
         messages_sent: cluster.messages_sent(),
         duration_ticks: cluster.now_ticks(),
+        streaming_verdict: checker.verdict(),
+        checker_high_water_mark: checker.high_water_mark(),
         history,
     })
 }
@@ -462,6 +535,62 @@ mod tests {
         let msg = err.to_string();
         assert!(msg.contains("stalled"), "got: {msg}");
         assert!(std::error::Error::source(&err).is_some());
+    }
+
+    #[test]
+    fn streaming_verdict_matches_batch_and_frontier_stays_small() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 11);
+        let report = run_closed_loop(
+            &mut c,
+            &WorkloadSpec {
+                n_ops: 300,
+                write_fraction: 0.3,
+                think_time: 2,
+                seed: 13,
+            },
+        )
+        .expect("quiesces");
+        assert_eq!(
+            report.streaming_verdict,
+            fastreg_atomicity::verdict::Verdict::from_atomicity(&check_swmr_atomicity(
+                &report.history
+            ))
+        );
+        // The simulated cluster journals, so the checker only ever held
+        // the frontier: a handful of concurrent clients, not 300 ops.
+        assert!(
+            report.checker_high_water_mark < 30,
+            "frontier grew with history length: hwm = {}",
+            report.checker_high_water_mark
+        );
+    }
+
+    #[test]
+    fn replay_fallback_agrees_when_journaling_is_unsupported() {
+        // The Counting wrapper keeps RegisterOps' default (journal-less)
+        // methods, forcing the snapshot-replay path.
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let mut c: Cluster<FastCrash> = Cluster::new(cfg, 11);
+        let mut counted = Counting::new(&mut c);
+        let report = run_closed_loop(
+            &mut counted,
+            &WorkloadSpec {
+                n_ops: 60,
+                seed: 13,
+                ..WorkloadSpec::default()
+            },
+        )
+        .expect("quiesces");
+        assert_eq!(
+            report.streaming_verdict,
+            fastreg_atomicity::verdict::Verdict::Clean
+        );
+        assert_eq!(
+            counted.snapshots.get(),
+            1,
+            "fallback must reuse the one snapshot"
+        );
     }
 
     #[test]

@@ -27,9 +27,9 @@ use crate::driver::{run_closed_loop, WorkloadSpec};
 use crate::table::Table;
 
 /// The experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 17] = [
+pub const EXPERIMENT_IDS: [&str; 18] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17",
+    "e16", "e17", "e18",
 ];
 
 /// The protocols experiment `id` exercises — the ground truth for the
@@ -61,6 +61,9 @@ pub fn experiment_protocols(id: &str) -> &'static [ProtocolId] {
         "e16" => &[ProtocolId::FastCrash, ProtocolId::Abd, ProtocolId::FastByz],
         // E17 runs these on the real-threads runtime.
         "e17" => &[ProtocolId::FastCrash, ProtocolId::Abd, ProtocolId::FastByz],
+        // E18 grades synthetic SWMR histories shaped like fast-crash
+        // closed-loop runs (the checkers, not a cluster, are under test).
+        "e18" => &[ProtocolId::FastCrash],
         _ => &[],
     }
 }
@@ -898,6 +901,7 @@ pub fn e15_exploration(cells: u32, threads: usize) -> Table {
         threads,
         ops: 8,
         base_seed: 0xe15,
+        early_exit: false,
         grid: default_grid(),
     };
     let report = explore(&config);
@@ -1227,6 +1231,120 @@ pub fn e17_rt_throughput(n_ops: u64, workers: &[usize], assert_scaling: bool) ->
     table
 }
 
+/// The synthetic SWMR history E18 grades: `n_ops / 3` writes, each with
+/// two reads invoked while the write is in flight, so the streaming
+/// frontier repeatedly fills to a handful of ops and drains. Clean by
+/// construction at any size.
+fn e18_history(n_ops: u64) -> fastreg_atomicity::history::History {
+    let mut h = fastreg_atomicity::history::History::with_capacity(n_ops as usize);
+    let mut t = 0u64;
+    for v in 1..=n_ops / 3 {
+        let w = h.invoke_write(0, v, t);
+        let r1 = h.invoke_read(1, t + 1);
+        let r2 = h.invoke_read(2, t + 1);
+        h.respond(w, None, t + 2);
+        h.respond(r1, Some(RegValue::Val(v)), t + 3);
+        h.respond(r2, Some(RegValue::Val(v)), t + 3);
+        t += 4;
+    }
+    h
+}
+
+/// E18 — checker throughput: the streaming and epoch-parallel checkers
+/// vs the batch checker on synthetic SWMR histories up to millions of
+/// ops. The batch checker is quadratic in the number of reads, so it
+/// only runs up to `batch_cap` ops; its throughput (ops/s) *decreases*
+/// with size, which makes the reported speedup — streaming throughput
+/// at the largest size over batch throughput at its largest measured
+/// size — a conservative lower bound. Streaming memory stays bounded:
+/// the table's `resident` column is the checker's high-water mark of
+/// simultaneously buffered ops, independent of history length.
+pub fn e18_checker_throughput(sizes: &[u64], batch_cap: u64, threads: usize) -> Table {
+    use fastreg_atomicity::streaming::{
+        check_swmr_atomicity_parallel, replay_events, StreamingChecker,
+    };
+    use fastreg_atomicity::verdict::Verdict;
+    use std::time::Instant;
+
+    let mut table = Table::new(vec![
+        "n_ops", "checker", "wall ms", "ops/s", "resident", "verdict",
+    ]);
+    let mut best_stream_ops_per_s = 0f64;
+    let mut best_batch_ops_per_s = 0f64;
+    for &n_ops in sizes {
+        let h = e18_history(n_ops);
+        let n = h.len() as u64;
+
+        // fastreg-lint: allow(wall-clock): wall-time report row only; never feeds a verdict, trace, or fingerprint
+        #[allow(clippy::disallowed_methods)]
+        let start = Instant::now();
+        let events = replay_events(&h);
+        let mut ck = StreamingChecker::new_atomic();
+        ck.on_events(&events);
+        let verdict = ck.verdict();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(verdict.is_clean(), "E18: synthetic history must be clean");
+        let ops_per_s = n as f64 / (wall_ms / 1e3).max(1e-9);
+        best_stream_ops_per_s = best_stream_ops_per_s.max(ops_per_s);
+        table.row(vec![
+            n.to_string(),
+            "streaming".into(),
+            format!("{wall_ms:.1}"),
+            format!("{ops_per_s:.0}"),
+            ck.high_water_mark().to_string(),
+            verdict.code().into(),
+        ]);
+
+        // fastreg-lint: allow(wall-clock): wall-time report row only; never feeds a verdict, trace, or fingerprint
+        #[allow(clippy::disallowed_methods)]
+        let start = Instant::now();
+        let verdict = check_swmr_atomicity_parallel(&h, threads);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert!(verdict.is_clean(), "E18: synthetic history must be clean");
+        table.row(vec![
+            n.to_string(),
+            format!("parallel x{threads}"),
+            format!("{wall_ms:.1}"),
+            format!("{:.0}", n as f64 / (wall_ms / 1e3).max(1e-9)),
+            "-".into(),
+            verdict.code().into(),
+        ]);
+
+        if n_ops <= batch_cap {
+            // fastreg-lint: allow(wall-clock): wall-time report row only; never feeds a verdict, trace, or fingerprint
+            #[allow(clippy::disallowed_methods)]
+            let start = Instant::now();
+            let verdict = Verdict::from_atomicity(&check_swmr_atomicity(&h));
+            let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+            assert!(verdict.is_clean(), "E18: synthetic history must be clean");
+            let ops_per_s = n as f64 / (wall_ms / 1e3).max(1e-9);
+            best_batch_ops_per_s = best_batch_ops_per_s.max(ops_per_s);
+            table.row(vec![
+                n.to_string(),
+                "batch".into(),
+                format!("{wall_ms:.1}"),
+                format!("{ops_per_s:.0}"),
+                n.to_string(),
+                verdict.code().into(),
+            ]);
+        }
+    }
+    let speedup = best_stream_ops_per_s / best_batch_ops_per_s.max(1e-9);
+    table.row(vec![
+        "-".into(),
+        "speedup".into(),
+        "-".into(),
+        format!("{speedup:.1}x"),
+        "-".into(),
+        "-".into(),
+    ]);
+    assert!(
+        speedup >= 5.0,
+        "E18: streaming must be at least 5x batch throughput (got {speedup:.1}x)"
+    );
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1321,5 +1439,24 @@ mod tests {
         for id in experiment_protocols("e14") {
             assert!(s.contains(id.name()), "e14 must sweep {}", id.name());
         }
+    }
+
+    #[test]
+    fn e18_compares_checkers_at_ci_sizes() {
+        // CI-sized: batch runs only at the small size, the speedup row
+        // and the >= 5x assertion inside the experiment still arm.
+        let t = e18_checker_throughput(&[3_000, 60_000], 3_000, 2);
+        // streaming + parallel per size, batch at the small size, plus
+        // the speedup summary row.
+        assert_eq!(t.len(), 6);
+        let s = t.render();
+        assert!(s.contains("streaming"));
+        assert!(s.contains("parallel x2"));
+        assert!(s.contains("batch"));
+        assert!(s.contains("speedup"));
+        // Bounded memory: the frontier high-water mark is a handful of
+        // ops regardless of history length (column renders single digits
+        // next to 60000-op rows).
+        assert!(s.contains("clean"));
     }
 }

@@ -180,7 +180,10 @@ pub fn run_kv_workload(
     }
     let (store, stats) = frontend.finish()?;
     let global = store.global_history();
-    let check = StoreChecker::check_history(&store, &global);
+    // Per-key checks run concurrently on the same worker-thread budget
+    // that drove the shards, through the streaming checkers (same codes
+    // as `check_history`, thread-count independent).
+    let check = StoreChecker::check_streaming(&store, &global, threads);
     let breakdown = OpBreakdown::of(&global.latency_history());
     let report = KvReport {
         stats,
