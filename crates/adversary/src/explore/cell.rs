@@ -82,7 +82,7 @@ pub enum CellExpectation {
 }
 
 /// One cell of the exploration grid.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Cell {
     /// The protocol under test.
     pub protocol: ProtocolId,
@@ -95,6 +95,21 @@ pub struct Cell {
     pub ops: u32,
     /// The fault-schedule family.
     pub dist: FaultDistribution,
+}
+
+/// Coverage signals harvested from one run — the stable observations
+/// the coverage-guided strategy hashes into features (see
+/// [`coverage`](super::coverage)). Deterministic per cell: same cell +
+/// script ⇒ identical signals on any machine or thread count.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RunSignals {
+    /// Maximum per-receiver message-reorder depth of the schedule (see
+    /// `Trace::max_reorder_depth`).
+    pub reorder_depth: u64,
+    /// Predicate witness levels across readers, as sorted
+    /// `(witness_count, occurrences)` pairs; empty for protocols whose
+    /// readers keep no histogram.
+    pub witness_levels: Vec<(u32, u64)>,
 }
 
 /// What one cell run produced.
@@ -114,6 +129,8 @@ pub struct CellOutcome {
     /// The rendered history — populated only for violations, where a
     /// human will want to look.
     pub history: Option<String>,
+    /// Coverage signals harvested from the run.
+    pub signals: RunSignals,
 }
 
 /// The streaming tripwire an early-exit run feeds as operations settle:
@@ -439,7 +456,17 @@ impl Cell {
                 Verdict::Clean => None,
                 Verdict::Violation(_) => Some(cluster.snapshot().render()),
             },
+            signals: harvest_signals(&*cluster),
         }
+    }
+}
+
+/// Harvests the run's coverage signals from the finished (or abandoned)
+/// world.
+fn harvest_signals(cluster: &dyn SimControl) -> RunSignals {
+    RunSignals {
+        reorder_depth: cluster.max_reorder_depth(),
+        witness_levels: cluster.witness_levels(),
     }
 }
 
@@ -459,6 +486,7 @@ fn poll_tripwire(
         ops_issued: issued,
         early_exited: true,
         history: Some(cluster.snapshot().render()),
+        signals: harvest_signals(cluster),
     })
 }
 
@@ -577,6 +605,32 @@ mod tests {
             }
         }
         assert!(tripped, "no seed tripped the wire");
+    }
+
+    #[test]
+    fn runs_harvest_deterministic_coverage_signals() {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).unwrap();
+        let c = cell(
+            ProtocolId::FastCrash,
+            cfg,
+            7,
+            FaultDistribution::Partitioned,
+        );
+        let a = c.run();
+        let b = c.run();
+        assert_eq!(a.signals, b.signals);
+        assert!(
+            !a.signals.witness_levels.is_empty(),
+            "fast-crash readers keep a witness histogram"
+        );
+        // A protocol whose readers keep no histogram harvests none.
+        let abd = cell(
+            ProtocolId::Abd,
+            ProtocolId::Abd.sample_config(),
+            7,
+            FaultDistribution::Calm,
+        );
+        assert!(abd.run().signals.witness_levels.is_empty());
     }
 
     #[test]

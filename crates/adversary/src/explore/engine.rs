@@ -20,11 +20,14 @@
 
 use fastreg::config::ClusterConfig;
 use fastreg::protocols::registry::ProtocolId;
+use fastreg_simnet::fault::FaultScript;
 use fastreg_simnet::threaded::map_ordered;
 
 use super::cell::{splitmix64, Cell, CellExpectation, CellOutcome, FaultDistribution};
 use super::counterexample::Counterexample;
+use super::coverage::{cell_features, CoverageReport, CoverageTracker};
 use super::shrink::{shrink, ShrinkStats};
+use super::strategy::{CoverageScheduler, Job, Strategy};
 
 /// One protocol × configuration point of the exploration grid.
 #[derive(Clone, Copy, Debug)]
@@ -72,6 +75,10 @@ pub struct ExploreConfig {
     /// shrinking, so counterexample bytes still replay); only
     /// early-exited fingerprints differ. Off by default.
     pub early_exit: bool,
+    /// How the schedule space is traversed (defaults to
+    /// [`Strategy::RandomGrid`]; see [`Strategy::CoverageGuided`] for
+    /// the search upgrade).
+    pub strategy: Strategy,
     /// The grid (defaults to [`default_grid`]).
     pub grid: Vec<GridPoint>,
 }
@@ -84,13 +91,17 @@ impl Default for ExploreConfig {
             ops: 8,
             base_seed: 0,
             early_exit: false,
+            strategy: Strategy::default(),
             grid: default_grid(),
         }
     }
 }
 
 impl ExploreConfig {
-    /// The deterministic cell list this configuration expands to.
+    /// The deterministic cell list this configuration expands to under
+    /// [`Strategy::RandomGrid`] (the coverage-guided strategy runs this
+    /// list's first `grid.len() × 4` cells as its pilot, then plans the
+    /// rest from coverage feedback).
     ///
     /// Cell `i` takes grid point `i % grid.len()`, fault distribution
     /// `(i / grid.len()) % 4`, and seed `splitmix64(base_seed ⊕ i)`:
@@ -119,6 +130,9 @@ impl ExploreConfig {
 pub struct ExploredCell {
     /// The cell that ran.
     pub cell: Cell,
+    /// The fault script it ran under (generated under `RandomGrid`;
+    /// generated or mutated under `CoverageGuided`).
+    pub faults: FaultScript,
     /// What it produced.
     pub outcome: CellOutcome,
 }
@@ -139,10 +153,13 @@ pub struct Finding {
 /// The result of one exploration run.
 #[derive(Clone, Debug)]
 pub struct ExploreReport {
-    /// Every cell, in deterministic cell order.
+    /// Every cell, in deterministic run order.
     pub cells: Vec<ExploredCell>,
-    /// Every violation, shrunk, in cell order.
+    /// Every violation, shrunk, in run order.
     pub findings: Vec<Finding>,
+    /// The run's coverage summary (tracked under both strategies —
+    /// under `RandomGrid` it is pure observation).
+    pub coverage: CoverageReport,
 }
 
 impl ExploreReport {
@@ -171,52 +188,98 @@ impl ExploreReport {
     }
 }
 
+/// Runs one batch of jobs on the ordered worker pool.
+fn run_jobs(jobs: &[Job], threads: usize, early_exit: bool) -> Vec<CellOutcome> {
+    map_ordered(jobs.to_vec(), threads, move |_, job| {
+        if early_exit {
+            job.cell.run_with_early_exit(&job.faults)
+        } else {
+            job.cell.run_with(&job.faults)
+        }
+    })
+}
+
 /// Runs the exploration described by `config`.
 ///
 /// Cells run on `config.threads` workers; each violating cell is then
 /// shrunk (also on the pool — shrinking is per-cell pure). The report is
-/// identical for any thread count.
+/// identical for any thread count: under [`Strategy::CoverageGuided`]
+/// every batch is planned *between* fan-outs from state folded in job
+/// order, so the plan itself never depends on worker scheduling.
 pub fn explore(config: &ExploreConfig) -> ExploreReport {
-    let cells = config.cell_list();
-    let early = config.early_exit;
-    let outcomes: Vec<CellOutcome> = map_ordered(cells.clone(), config.threads, move |_, cell| {
-        if early {
-            cell.run_early_exit()
-        } else {
-            cell.run()
+    let mut tracker = CoverageTracker::new(config.cells);
+    let (jobs, outcomes) = match config.strategy {
+        Strategy::RandomGrid => {
+            let jobs: Vec<Job> = config
+                .cell_list()
+                .into_iter()
+                .enumerate()
+                .map(|(i, cell)| Job {
+                    pair: i % (config.grid.len() * FaultDistribution::ALL.len()),
+                    cell,
+                    faults: cell.generate_faults(),
+                })
+                .collect();
+            let outcomes = run_jobs(&jobs, config.threads, config.early_exit);
+            for (job, out) in jobs.iter().zip(&outcomes) {
+                tracker.observe(&cell_features(&job.cell, &job.faults, out));
+            }
+            (jobs, outcomes)
         }
-    });
+        Strategy::CoverageGuided { energy, pool } => {
+            let mut scheduler = CoverageScheduler::new(
+                &config.grid,
+                config.ops,
+                config.base_seed,
+                config.cells,
+                energy,
+                pool,
+            );
+            let mut jobs: Vec<Job> = Vec::with_capacity(config.cells as usize);
+            let mut outcomes: Vec<CellOutcome> = Vec::with_capacity(config.cells as usize);
+            loop {
+                let batch = scheduler.next_batch();
+                if batch.is_empty() {
+                    break;
+                }
+                let batch_outcomes = run_jobs(&batch, config.threads, config.early_exit);
+                scheduler.fold(&batch, &batch_outcomes, &mut tracker);
+                jobs.extend(batch);
+                outcomes.extend(batch_outcomes);
+            }
+            (jobs, outcomes)
+        }
+    };
 
     // Shrink the proven violations — independent work, same ordered
     // pool. `CheckerLimit` outcomes (the oracle gave up on an oversized
     // history) are neither clean nor findings: there is nothing proven
     // to shrink, and classifying them as bugs would fail sound feasible
     // cells for running a large `--budget`.
-    let violating: Vec<(usize, Cell, CellOutcome)> = cells
+    let violating: Vec<(usize, Job, CellOutcome)> = jobs
         .iter()
         .zip(&outcomes)
         .enumerate()
         .filter(|(_, (_, out))| out.verdict.is_proven_violation())
-        .map(|(i, (cell, out))| (i, *cell, out.clone()))
+        .map(|(i, (job, out))| (i, job.clone(), out.clone()))
         .collect();
     let findings: Vec<Finding> = map_ordered(
         violating,
         config.threads,
-        |_, (cell_index, cell, outcome)| {
+        |_, (cell_index, job, outcome)| {
             // Shrinking compares against full-run identities, so an
             // early-exited outcome (truncated fingerprint) is refreshed
             // with one complete run first. Proven violations are
             // monotone in the event stream: the full run still violates.
             let outcome = if outcome.early_exited {
-                cell.run()
+                job.cell.run_with(&job.faults)
             } else {
                 outcome
             };
-            let faults = cell.generate_faults();
-            let (counterexample, stats) = shrink(&cell, &faults, &outcome);
+            let (counterexample, stats) = shrink(&job.cell, &job.faults, &outcome);
             Finding {
                 cell_index,
-                expectation: cell.expectation(),
+                expectation: job.cell.expectation(),
                 counterexample,
                 shrink: stats,
             }
@@ -224,12 +287,17 @@ pub fn explore(config: &ExploreConfig) -> ExploreReport {
     );
 
     ExploreReport {
-        cells: cells
+        cells: jobs
             .into_iter()
             .zip(outcomes)
-            .map(|(cell, outcome)| ExploredCell { cell, outcome })
+            .map(|(job, outcome)| ExploredCell {
+                cell: job.cell,
+                faults: job.faults,
+                outcome,
+            })
             .collect(),
         findings,
+        coverage: tracker.finish(config.strategy.name()),
     }
 }
 
@@ -244,6 +312,7 @@ mod tests {
             ops: 6,
             base_seed: 0xe15,
             early_exit: false,
+            strategy: Strategy::RandomGrid,
             grid: default_grid(),
         }
     }
@@ -316,11 +385,11 @@ mod tests {
             threads: 1,
             ops: 200,
             base_seed: 1,
-            early_exit: false,
             grid: vec![GridPoint {
                 protocol: ProtocolId::MwmrAbd,
                 cfg: ClusterConfig::mwmr(3, 1, 2, 2).unwrap(),
             }],
+            ..Default::default()
         };
         let report = explore(&config);
         assert!(
@@ -332,6 +401,69 @@ mod tests {
         );
         assert_eq!(report.unexpected().count(), 0);
         assert_eq!(report.findings.len(), 0);
+    }
+
+    #[test]
+    fn coverage_guided_exploration_is_thread_count_independent() {
+        let config = |threads| ExploreConfig {
+            strategy: Strategy::coverage(),
+            ..small_config(threads)
+        };
+        let one = explore(&config(1));
+        let four = explore(&config(4));
+        assert_eq!(one.cells.len(), 144);
+        assert_eq!(one.cells.len(), four.cells.len());
+        for (a, b) in one.cells.iter().zip(&four.cells) {
+            assert_eq!(a.cell.seed, b.cell.seed, "the planned cells must match");
+            assert_eq!(a.outcome.verdict, b.outcome.verdict);
+            assert_eq!(a.outcome.fingerprint, b.outcome.fingerprint);
+        }
+        assert_eq!(one.coverage, four.coverage);
+        assert_eq!(one.coverage.render(), four.coverage.render());
+        assert_eq!(one.findings.len(), four.findings.len());
+        for (a, b) in one.findings.iter().zip(&four.findings) {
+            assert_eq!(a.cell_index, b.cell_index);
+            assert_eq!(a.counterexample.render(), b.counterexample.render());
+        }
+    }
+
+    #[test]
+    fn coverage_guided_findings_replay_and_stay_sound() {
+        let report = explore(&ExploreConfig {
+            strategy: Strategy::coverage(),
+            ..small_config(2)
+        });
+        assert_eq!(
+            report.unexpected().count(),
+            0,
+            "sound feasible protocols must survive coverage-guided search"
+        );
+        assert!(report.expected().count() > 0);
+        for f in &report.findings {
+            assert!(
+                f.counterexample.replay().reproduces(&f.counterexample),
+                "finding at cell {} does not replay",
+                f.cell_index
+            );
+        }
+        assert_eq!(report.coverage.strategy, "coverage-guided");
+        assert_eq!(report.coverage.cells, 144);
+        assert!(report.coverage.features_seen > 0);
+    }
+
+    #[test]
+    fn both_strategies_report_coverage() {
+        let random = explore(&ExploreConfig {
+            cells: 36,
+            ..small_config(2)
+        });
+        assert_eq!(random.coverage.strategy, "random-grid");
+        assert_eq!(random.coverage.cells, 36);
+        assert!(random.coverage.features_seen > 0);
+        assert_eq!(
+            random.coverage.saturation.last().map(|p| p.features),
+            Some(random.coverage.features_seen)
+        );
     }
 
     #[test]

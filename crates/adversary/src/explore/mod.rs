@@ -13,6 +13,14 @@
 //!   injection, and checks every history against the protocol's declared
 //!   contract. Same inputs ⇒ identical verdicts and counterexample
 //!   bytes, at any thread count.
+//! * [`mod@coverage`] / [`mod@mutate`] / [`mod@strategy`] — the search
+//!   upgrade: stable run signals (verdict codes, trace shape, predicate
+//!   witness levels, message-reorder depth, fault-script shape) hash
+//!   into a [`coverage::CoverageMap`]; coverage-novel scripts are
+//!   retained and [`mutate::mutate`]d; and
+//!   [`strategy::Strategy::CoverageGuided`] plans each batch toward the
+//!   pairs still producing novelty. [`strategy::Strategy::RandomGrid`]
+//!   keeps PR 4's uniform sampling as the control baseline.
 //! * [`mod@shrink`] — greedy minimization of a violating cell: fault events
 //!   are removed and the op budget lowered while the violation persists.
 //! * [`counterexample`] — the serialized, replayable form: protocol +
@@ -27,12 +35,21 @@
 
 pub mod cell;
 pub mod counterexample;
+pub mod coverage;
 pub mod engine;
 pub mod exhaustive;
+pub mod mutate;
 pub mod shrink;
+pub mod strategy;
 
-pub use cell::{Cell, CellExpectation, CellOutcome, FaultDistribution};
+pub use cell::{Cell, CellExpectation, CellOutcome, FaultDistribution, RunSignals};
 pub use counterexample::{Counterexample, CounterexampleParseError, ReplayOutcome};
+pub use coverage::{
+    behavior_features, cell_features, feature_hash, script_features, CoverageMap, CoverageReport,
+    SaturationPoint,
+};
 pub use engine::{default_grid, explore, ExploreConfig, ExploreReport, Finding, GridPoint};
 pub use exhaustive::{explore_fast_crash, ExploreOutcome, OpScript};
+pub use mutate::mutate;
 pub use shrink::{shrink, ShrinkStats};
+pub use strategy::Strategy;

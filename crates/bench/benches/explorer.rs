@@ -37,6 +37,7 @@ fn batch(threads: usize) -> ExploreConfig {
         ops: 8,
         base_seed: 0xbe9c4,
         early_exit: false,
+        strategy: fastreg_adversary::explore::Strategy::RandomGrid,
         grid: clean_grid(),
     }
 }

@@ -19,6 +19,11 @@
 //!                             # pool; shrink violations; write replayable
 //!                             # counterexample files to found/. Exit 1 iff
 //!                             # a *sound feasible* cell violated.
+//! report explore --strategy coverage-guided --coverage-out coverage.json ...
+//!                             # coverage-guided traversal (pool + mutation
+//!                             # + frontier energy) instead of the uniform
+//!                             # random grid; write the coverage report
+//!                             # (features seen, saturation curve) as JSON
 //! report explore --replay corpus/            # replay a file or directory;
 //!                             # exit 1 unless every counterexample
 //!                             # reproduces its verdict + fingerprint
@@ -251,15 +256,42 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Renders a [`CoverageReport`] as a single-line JSON object — the
+/// `"coverage"` field of `report explore --json` and the whole document
+/// `--coverage-out` writes. No wall-clock or thread-count fields: the
+/// bytes are pinned by the determinism contract.
+///
+/// [`CoverageReport`]: fastreg_adversary::explore::CoverageReport
+fn coverage_json(coverage: &fastreg_adversary::explore::CoverageReport) -> String {
+    let curve: Vec<String> = coverage
+        .saturation
+        .iter()
+        .map(|p| format!("{{ \"cells\": {}, \"features\": {} }}", p.cells, p.features))
+        .collect();
+    format!(
+        "{{ \"strategy\": \"{}\", \"cells\": {}, \"features_seen\": {}, \
+         \"novel_per_1k_cells\": {}, \"saturation\": [{}] }}",
+        coverage.strategy,
+        coverage.cells,
+        coverage.features_seen,
+        coverage.novel_per_1k(),
+        curve.join(", ")
+    )
+}
+
 /// `report explore` — the schedule-exploration front end.
 fn explore_main(args: &[String]) -> ExitCode {
-    use fastreg_adversary::explore::{default_grid, explore, Counterexample, ExploreConfig};
+    use fastreg_adversary::explore::{
+        default_grid, explore, Counterexample, ExploreConfig, Strategy,
+    };
 
     let mut cells: u32 = 64;
     let mut threads: usize = 4;
     let mut budget: u32 = 8;
     let mut seed: u64 = 0;
+    let mut strategy = Strategy::RandomGrid;
     let mut out: Option<String> = None;
+    let mut coverage_out: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut json = false;
 
@@ -268,7 +300,8 @@ fn explore_main(args: &[String]) -> ExitCode {
         let usage = || {
             eprintln!(
                 "usage: report explore [--cells N] [--threads N] [--budget OPS] [--seed N] \
-                 [--out DIR] [--json] | report explore --replay <file-or-dir> [--json]"
+                 [--strategy random-grid|coverage-guided] [--out DIR] [--coverage-out FILE] \
+                 [--json] | report explore --replay <file-or-dir> [--json]"
             );
             ExitCode::from(2)
         };
@@ -285,8 +318,16 @@ fn explore_main(args: &[String]) -> ExitCode {
             "--threads" => numeric_flag!(threads),
             "--budget" => numeric_flag!(budget),
             "--seed" => numeric_flag!(seed),
+            "--strategy" => match it.next().and_then(|v| Strategy::parse(v)) {
+                Some(v) => strategy = v,
+                None => return usage(),
+            },
             "--out" => match it.next() {
                 Some(v) => out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--coverage-out" => match it.next() {
+                Some(v) => coverage_out = Some(v.clone()),
                 None => return usage(),
             },
             "--replay" => match it.next() {
@@ -401,6 +442,7 @@ fn explore_main(args: &[String]) -> ExitCode {
         ops: budget,
         base_seed: seed,
         early_exit: true,
+        strategy,
         grid: default_grid(),
     };
     let report = explore(&config);
@@ -421,6 +463,16 @@ fn explore_main(args: &[String]) -> ExitCode {
                 return ExitCode::from(2);
             }
             written.push((i, path));
+        }
+    }
+
+    // Persist the coverage report as a standalone JSON document. Like
+    // the `--json` stream, the bytes carry no wall-clock or thread
+    // fields — identical at any `--threads`.
+    if let Some(path) = &coverage_out {
+        if let Err(e) = std::fs::write(path, coverage_json(&report.coverage)) {
+            eprintln!("cannot write '{path}': {e}");
+            return ExitCode::from(2);
         }
     }
 
@@ -460,6 +512,8 @@ fn explore_main(args: &[String]) -> ExitCode {
         println!("  \"threads\": {threads},");
         println!("  \"budget\": {budget},");
         println!("  \"seed\": {seed},");
+        println!("  \"strategy\": \"{}\",", report.coverage.strategy);
+        println!("  \"coverage\": {},", coverage_json(&report.coverage));
         println!("  \"clean\": {},", report.clean_count());
         println!("  \"expected_violations\": {expected},");
         println!("  \"unexpected_violations\": {unexpected},");
@@ -470,9 +524,10 @@ fn explore_main(args: &[String]) -> ExitCode {
     } else {
         println!(
             "explored {cells} cells over {} grid points (threads {threads}, budget {budget}, \
-             seed {seed})",
+             seed {seed}, strategy {strategy})",
             config.grid.len()
         );
+        print!("{}", report.coverage.render());
         println!("  clean:                 {}", report.clean_count());
         println!("  expected violations:   {expected} (hunting cells: past the bound / unsound)");
         println!("  unexpected violations: {unexpected}");

@@ -328,6 +328,47 @@ fn explore_runs_and_reports_both_directions() {
 
 #[test]
 fn explore_is_thread_count_independent_at_the_cli() {
+    // The acceptance bar for the traversal upgrade: the full --json
+    // document (verdicts, findings, coverage report and all) is
+    // byte-identical across --threads 1/2/4 under *both* strategies.
+    for strategy in ["random-grid", "coverage-guided"] {
+        let run = |threads: &str| {
+            let out = report(&[
+                "explore",
+                "--cells",
+                "54",
+                "--threads",
+                threads,
+                "--budget",
+                "6",
+                "--seed",
+                "5",
+                "--strategy",
+                strategy,
+                "--json",
+            ]);
+            assert!(out.status.success(), "{out:?}");
+            String::from_utf8(out.stdout).unwrap()
+        };
+        let one = run("1");
+        let two = run("2");
+        let four = run("4");
+        // Identical JSON except the echoed threads line itself.
+        let strip = |s: &str| {
+            s.lines()
+                .filter(|l| !l.contains("\"threads\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(strip(&one), strip(&four), "strategy {strategy}");
+        assert_eq!(strip(&two), strip(&four), "strategy {strategy}");
+        assert!(one.contains(&format!("\"strategy\": \"{strategy}\"")));
+    }
+}
+
+#[test]
+fn explore_coverage_out_writes_the_coverage_document() {
+    let path = std::env::temp_dir().join(format!("report_cli_cov_{}.json", std::process::id()));
     let run = |threads: &str| {
         let out = report(&[
             "explore",
@@ -339,21 +380,26 @@ fn explore_is_thread_count_independent_at_the_cli() {
             "6",
             "--seed",
             "5",
-            "--json",
+            "--strategy",
+            "coverage-guided",
+            "--coverage-out",
+            path.to_str().unwrap(),
         ]);
         assert!(out.status.success(), "{out:?}");
-        String::from_utf8(out.stdout).unwrap()
+        std::fs::read_to_string(&path).unwrap()
     };
-    let one = run("1");
-    let four = run("4");
-    // Identical JSON except the echoed threads line itself.
-    let strip = |s: &str| {
-        s.lines()
-            .filter(|l| !l.contains("\"threads\""))
-            .collect::<Vec<_>>()
-            .join("\n")
-    };
-    assert_eq!(strip(&one), strip(&four));
+    let doc = run("2");
+    assert!(
+        doc.starts_with("{ \"strategy\": \"coverage-guided\""),
+        "{doc}"
+    );
+    assert!(doc.contains("\"features_seen\""));
+    assert!(doc.contains("\"novel_per_1k_cells\""));
+    assert!(doc.contains("\"saturation\": ["));
+    // The document carries no thread or wall-clock fields, so its bytes
+    // are pinned across worker counts too.
+    assert_eq!(doc, run("4"));
+    let _ = std::fs::remove_file(&path);
 }
 
 #[test]
@@ -421,6 +467,8 @@ fn explore_rejects_bad_flags_and_paths() {
     let out = report(&["explore", "--warp", "9"]);
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8(out.stderr).unwrap().contains("--warp"));
+    let out = report(&["explore", "--strategy", "warp"]);
+    assert_eq!(out.status.code(), Some(2));
     let out = report(&["explore", "--replay", "/no/such/path"]);
     assert_eq!(out.status.code(), Some(2));
 }

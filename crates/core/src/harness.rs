@@ -1191,6 +1191,19 @@ pub trait SimControl: RegisterOps {
     /// Equal fingerprints ⇔ event-identical runs; the schedule-exploration
     /// replay path compares these.
     fn trace_fingerprint(&self) -> u64;
+    /// Maximum message-reorder depth of the run so far (see
+    /// [`Trace::max_reorder_depth`](fastreg_simnet::trace::Trace::max_reorder_depth)):
+    /// how many older in-flight messages some delivery overtook, per
+    /// receiver. A schedule-shape signal for coverage-guided exploration.
+    fn max_reorder_depth(&self) -> u64;
+    /// Predicate witness levels aggregated across this deployment's
+    /// readers, as sorted `(witness_count, occurrences)` pairs.
+    ///
+    /// Fast protocols decide each read from a `predicate_witness` scan;
+    /// the witness level is *which* α made the §4 predicate hold — a
+    /// direct signal of how contended/degraded the quorum state was.
+    /// Empty for protocols whose readers keep no witness histogram.
+    fn witness_levels(&self) -> Vec<(u32, u64)>;
 }
 
 impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
@@ -1315,6 +1328,34 @@ impl<P: ProtocolFamily> SimControl for Cluster<P> {
 
     fn trace_fingerprint(&self) -> u64 {
         self.world.trace().fingerprint()
+    }
+
+    fn max_reorder_depth(&self) -> u64 {
+        self.world.trace().max_reorder_depth()
+    }
+
+    fn witness_levels(&self) -> Vec<(u32, u64)> {
+        // Typed harvest: downcast each reader actor against the witness-
+        // keeping reader types; protocols without a histogram yield
+        // nothing. BTreeMap keeps the pairs sorted by witness level.
+        let mut agg: std::collections::BTreeMap<u32, u64> = std::collections::BTreeMap::new();
+        for p in self.layout.readers() {
+            let histogram = self
+                .world
+                .with_actor::<crate::protocols::fast_crash::Reader, _, _>(p, |r| {
+                    r.witness_histogram.clone()
+                })
+                .or_else(|| {
+                    self.world
+                        .with_actor::<crate::protocols::fast_byz::Reader, _, _>(p, |r| {
+                            r.witness_histogram.clone()
+                        })
+                });
+            for (level, n) in histogram.into_iter().flatten() {
+                *agg.entry(level).or_insert(0) += n;
+            }
+        }
+        agg.into_iter().collect()
     }
 }
 

@@ -195,6 +195,53 @@ impl Trace {
         h
     }
 
+    /// The maximum message-reorder depth observed in the stored entries.
+    ///
+    /// For each delivery, the depth is the number of messages to the
+    /// *same receiver* that were sent earlier and were still in flight
+    /// (neither delivered nor dropped) when this one arrived — i.e. how
+    /// many older messages this delivery overtook. A FIFO run scores 0;
+    /// the adversarial schedules the lower-bound constructions need
+    /// score high. Coverage-guided exploration uses the depth as a
+    /// schedule-shape signal.
+    ///
+    /// Computed over the *stored* entries only: a trace that hit its
+    /// capacity reports the depth of the recorded prefix.
+    pub fn max_reorder_depth(&self) -> u64 {
+        use std::collections::BTreeMap;
+        // Per-receiver in-flight message ids, in send order.
+        let mut inflight: BTreeMap<ProcessId, Vec<MsgId>> = BTreeMap::new();
+        // Receiver of each in-flight message (drops name only the id).
+        let mut dest: BTreeMap<MsgId, ProcessId> = BTreeMap::new();
+        let mut max_depth = 0u64;
+        for e in &self.entries {
+            match e {
+                TraceEntry::Send { id, to, .. } => {
+                    inflight.entry(*to).or_default().push(*id);
+                    dest.insert(*id, *to);
+                }
+                TraceEntry::Deliver { id, to, .. } => {
+                    if let Some(queue) = inflight.get_mut(to) {
+                        if let Some(pos) = queue.iter().position(|m| m == id) {
+                            max_depth = max_depth.max(pos as u64);
+                            queue.remove(pos);
+                            dest.remove(id);
+                        }
+                    }
+                }
+                TraceEntry::Drop { id, .. } => {
+                    if let Some(to) = dest.remove(id) {
+                        if let Some(queue) = inflight.get_mut(&to) {
+                            queue.retain(|m| m != id);
+                        }
+                    }
+                }
+                TraceEntry::Inject { .. } | TraceEntry::Crash { .. } => {}
+            }
+        }
+        max_depth
+    }
+
     /// Renders the stored entries, one per line.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -277,6 +324,75 @@ mod tests {
         d.record(send_entry(1));
         d.record(send_entry(2));
         assert_ne!(c.fingerprint(), d.fingerprint());
+    }
+
+    fn wire(id: u64, to: u32) -> (TraceEntry, TraceEntry) {
+        let send = TraceEntry::Send {
+            at: SimTime::from_ticks(id),
+            id: MsgId(id),
+            from: ProcessId::new(0),
+            to: ProcessId::new(to),
+            payload: "x".to_string(),
+        };
+        let deliver = TraceEntry::Deliver {
+            at: SimTime::from_ticks(id + 100),
+            id: MsgId(id),
+            from: ProcessId::new(0),
+            to: ProcessId::new(to),
+        };
+        (send, deliver)
+    }
+
+    #[test]
+    fn fifo_delivery_has_zero_reorder_depth() {
+        let mut t = Trace::default();
+        let (s1, d1) = wire(1, 1);
+        let (s2, d2) = wire(2, 1);
+        for e in [s1, s2, d1, d2] {
+            t.record(e);
+        }
+        assert_eq!(t.max_reorder_depth(), 0);
+    }
+
+    #[test]
+    fn overtaking_counts_per_receiver() {
+        // m1..m3 sent to receiver 1; m3 delivered first (overtakes two),
+        // then m1, m2 (in order among what remains).
+        let mut t = Trace::default();
+        let (s1, d1) = wire(1, 1);
+        let (s2, d2) = wire(2, 1);
+        let (s3, d3) = wire(3, 1);
+        for e in [s1, s2, s3, d3, d1, d2] {
+            t.record(e);
+        }
+        assert_eq!(t.max_reorder_depth(), 2);
+
+        // The same sends split across two receivers never overtake:
+        // reordering is per receiver, not global.
+        let mut t = Trace::default();
+        let (s1, d1) = wire(1, 1);
+        let (s2, d2) = wire(2, 2);
+        for e in [s1, s2, d2, d1] {
+            t.record(e);
+        }
+        assert_eq!(t.max_reorder_depth(), 0);
+    }
+
+    #[test]
+    fn drops_leave_the_inflight_window() {
+        // m1 is dropped before m2 arrives: m2 overtakes nothing.
+        let mut t = Trace::default();
+        let (s1, _) = wire(1, 1);
+        let (s2, d2) = wire(2, 1);
+        t.record(s1);
+        t.record(s2);
+        t.record(TraceEntry::Drop {
+            at: SimTime::from_ticks(50),
+            id: MsgId(1),
+            reason: DropReason::Scripted,
+        });
+        t.record(d2);
+        assert_eq!(t.max_reorder_depth(), 0);
     }
 
     #[test]

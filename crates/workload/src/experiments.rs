@@ -887,46 +887,21 @@ pub fn e14_scale(sizes: &[u64]) -> Table {
 /// The grid is [`fastreg_adversary::explore::default_grid`]: every
 /// registered protocol on its canonical feasible configuration plus the
 /// seeded hunting grounds (Fig. 2 past the fast bound, the unsound
-/// one-round MWMR). The experiment asserts the two directions the paper
-/// proves: sound feasible cells never violate, and the hunting grounds
-/// *do* yield violations — each one shrunk and replay-verified before
-/// the table is rendered.
+/// one-round MWMR). The same budget is spent twice — once per traversal
+/// [`Strategy`](fastreg_adversary::explore::Strategy) — so the table
+/// shows how the coverage-guided search reallocates cells toward the
+/// hunting grounds while the paper's soundness direction holds under
+/// both. The experiment asserts the two directions the paper proves:
+/// sound feasible cells never violate, and the hunting grounds *do*
+/// yield violations — each one shrunk and replay-verified before the
+/// table is rendered.
 pub fn e15_exploration(cells: u32, threads: usize) -> Table {
     use fastreg_adversary::explore::{
-        default_grid, explore, Cell, CellExpectation, ExploreConfig, FaultDistribution,
+        default_grid, explore, Cell, CellExpectation, ExploreConfig, FaultDistribution, Strategy,
     };
 
-    let config = ExploreConfig {
-        cells,
-        threads,
-        ops: 8,
-        base_seed: 0xe15,
-        early_exit: false,
-        grid: default_grid(),
-    };
-    let report = explore(&config);
-    if let Some(f) = report.unexpected().next() {
-        panic!(
-            "E15: sound feasible protocol {} violated its contract ({}) at cell {}",
-            f.counterexample.protocol.name(),
-            f.counterexample.verdict,
-            f.cell_index
-        );
-    }
-    assert!(
-        report.expected().count() > 0,
-        "E15: the hunting grounds (past the bound / unsound) must yield violations"
-    );
-    for f in &report.findings {
-        assert!(
-            f.counterexample.replay().reproduces(&f.counterexample),
-            "E15: counterexample at cell {} does not replay",
-            f.cell_index
-        );
-    }
-
-    // One row per grid point, aggregated over distributions and seeds.
     let mut table = Table::new(vec![
+        "strategy",
         "protocol",
         "S,t,b,R,W",
         "expectation",
@@ -935,46 +910,82 @@ pub fn e15_exploration(cells: u32, threads: usize) -> Table {
         "violations",
         "min shrunk faults",
     ]);
-    for point in &config.grid {
-        let here = |c: &fastreg_adversary::explore::Cell| {
-            c.protocol == point.protocol && c.cfg == point.cfg
+    for strategy in [Strategy::RandomGrid, Strategy::coverage()] {
+        let config = ExploreConfig {
+            cells,
+            threads,
+            ops: 8,
+            base_seed: 0xe15,
+            early_exit: false,
+            strategy,
+            grid: default_grid(),
         };
-        let ran: Vec<_> = report.cells.iter().filter(|e| here(&e.cell)).collect();
-        let clean = ran.iter().filter(|e| e.outcome.verdict.is_clean()).count();
-        let findings: Vec<_> = report
-            .findings
-            .iter()
-            .filter(|f| here(&report.cells[f.cell_index].cell))
-            .collect();
-        let expectation = match (Cell {
-            protocol: point.protocol,
-            cfg: point.cfg,
-            seed: 0,
-            ops: 1,
-            dist: FaultDistribution::Calm,
-        })
-        .expectation()
-        {
-            CellExpectation::Clean => "must stay clean",
-            CellExpectation::MayViolate => "hunting",
-        };
-        table.row(vec![
-            point.protocol.name().into(),
-            format!(
-                "{},{},{},{},{}",
-                point.cfg.s, point.cfg.t, point.cfg.b, point.cfg.r, point.cfg.w
-            ),
-            expectation.into(),
-            ran.len().to_string(),
-            clean.to_string(),
-            (ran.len() - clean).to_string(),
-            findings
+        let report = explore(&config);
+        if let Some(f) = report.unexpected().next() {
+            panic!(
+                "E15: sound feasible protocol {} violated its contract ({}) at cell {} \
+                 under {strategy}",
+                f.counterexample.protocol.name(),
+                f.counterexample.verdict,
+                f.cell_index
+            );
+        }
+        assert!(
+            report.expected().count() > 0,
+            "E15: the hunting grounds (past the bound / unsound) must yield violations \
+             under {strategy}"
+        );
+        for f in &report.findings {
+            assert!(
+                f.counterexample.replay().reproduces(&f.counterexample),
+                "E15: counterexample at cell {} does not replay under {strategy}",
+                f.cell_index
+            );
+        }
+
+        // One row per grid point, aggregated over distributions and seeds.
+        for point in &config.grid {
+            let here = |c: &fastreg_adversary::explore::Cell| {
+                c.protocol == point.protocol && c.cfg == point.cfg
+            };
+            let ran: Vec<_> = report.cells.iter().filter(|e| here(&e.cell)).collect();
+            let clean = ran.iter().filter(|e| e.outcome.verdict.is_clean()).count();
+            let findings: Vec<_> = report
+                .findings
                 .iter()
-                .map(|f| f.counterexample.faults.len())
-                .min()
-                .map(|n| n.to_string())
-                .unwrap_or_else(|| "-".into()),
-        ]);
+                .filter(|f| here(&report.cells[f.cell_index].cell))
+                .collect();
+            let expectation = match (Cell {
+                protocol: point.protocol,
+                cfg: point.cfg,
+                seed: 0,
+                ops: 1,
+                dist: FaultDistribution::Calm,
+            })
+            .expectation()
+            {
+                CellExpectation::Clean => "must stay clean",
+                CellExpectation::MayViolate => "hunting",
+            };
+            table.row(vec![
+                strategy.name().into(),
+                point.protocol.name().into(),
+                format!(
+                    "{},{},{},{},{}",
+                    point.cfg.s, point.cfg.t, point.cfg.b, point.cfg.r, point.cfg.w
+                ),
+                expectation.into(),
+                ran.len().to_string(),
+                clean.to_string(),
+                (ran.len() - clean).to_string(),
+                findings
+                    .iter()
+                    .map(|f| f.counterexample.faults.len())
+                    .min()
+                    .map(|n| n.to_string())
+                    .unwrap_or_else(|| "-".into()),
+            ]);
+        }
     }
     table
 }
@@ -1402,12 +1413,14 @@ mod tests {
     #[test]
     fn e15_explores_both_directions_deterministically() {
         let t = e15_exploration(144, 2);
-        // One row per default-grid point: 8 canonical + the past-the-bound
-        // hunting point.
-        assert_eq!(t.len(), 9);
+        // One row per (strategy, default-grid point): 2 strategies ×
+        // (8 canonical + the past-the-bound hunting point).
+        assert_eq!(t.len(), 18);
         let s = t.render();
         assert!(s.contains("hunting"));
         assert!(s.contains("must stay clean"));
+        assert!(s.contains("random-grid"));
+        assert!(s.contains("coverage-guided"));
         // Identical cells at another thread count render identically.
         assert_eq!(s, e15_exploration(144, 4).render());
     }
