@@ -37,6 +37,20 @@
 //!                             # iff a sound backend violated per key.
 //! report store --protocol fast-crash,abd,fast-byz --skew zipf:1.2
 //!                             # heterogeneous backends, hot-key skew
+//! report store --metrics-out metrics.json ...
+//!                             # also write the deterministic metrics
+//!                             # snapshot (byte-identical at any
+//!                             # --threads); explore accepts the same flag
+//!
+//! report trace --experiment register --protocol abd --seed 7 --ops 200 \
+//!              --trace-out trace.json --metrics-out metrics.json
+//!                             # one instrumented closed-loop run; the
+//!                             # trace is Chrome trace_event JSON (open
+//!                             # in Perfetto), the metrics snapshot is
+//!                             # deterministic JSON. Same seed ⇒ same
+//!                             # bytes. --experiment store drives the
+//!                             # sharded KV store instead (--shards,
+//!                             # --threads tune it; the bytes don't move)
 //! ```
 //!
 //! Exploration is deterministic: the same `--cells`/`--budget`/`--seed`
@@ -202,6 +216,11 @@ fn experiments(quick: bool) -> Vec<Experiment<'static>> {
                 exp::e18_checker_throughput(&[10_000, 100_000, 1_000_000], batch_cap, 4).render()
             }),
         },
+        Experiment {
+            id: "e19",
+            title: "E19 — observability invariants: conservation, balanced spans, byte-stable artifacts",
+            run: Box::new(move || exp::e19_obs_invariants(if quick { 40 } else { 200 }).render()),
+        },
     ]
 }
 
@@ -292,6 +311,7 @@ fn explore_main(args: &[String]) -> ExitCode {
     let mut strategy = Strategy::RandomGrid;
     let mut out: Option<String> = None;
     let mut coverage_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut replay: Option<String> = None;
     let mut json = false;
 
@@ -301,7 +321,7 @@ fn explore_main(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: report explore [--cells N] [--threads N] [--budget OPS] [--seed N] \
                  [--strategy random-grid|coverage-guided] [--out DIR] [--coverage-out FILE] \
-                 [--json] | report explore --replay <file-or-dir> [--json]"
+                 [--metrics-out FILE] [--json] | report explore --replay <file-or-dir> [--json]"
             );
             ExitCode::from(2)
         };
@@ -328,6 +348,10 @@ fn explore_main(args: &[String]) -> ExitCode {
             },
             "--coverage-out" => match it.next() {
                 Some(v) => coverage_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(v.clone()),
                 None => return usage(),
             },
             "--replay" => match it.next() {
@@ -476,6 +500,35 @@ fn explore_main(args: &[String]) -> ExitCode {
         }
     }
 
+    // The exploration metrics snapshot: per-verdict cell counters plus
+    // the coverage-novelty numbers, rendered through the shared
+    // observability registry. Deterministic at any `--threads`.
+    if let Some(path) = &metrics_out {
+        let mut reg = fastreg_obs::MetricsRegistry::new();
+        reg.counter_add("explore.cells", u64::from(cells));
+        reg.counter_add("explore.clean", report.clean_count() as u64);
+        reg.counter_add("explore.expected_violations", expected as u64);
+        reg.counter_add("explore.unexpected_violations", unexpected as u64);
+        for f in &report.findings {
+            reg.counter_add(
+                &format!("explore.verdict.{}", f.counterexample.verdict.code()),
+                1,
+            );
+        }
+        reg.counter_add(
+            "explore.coverage.features_seen",
+            report.coverage.features_seen as u64,
+        );
+        reg.gauge_max(
+            "explore.coverage.novel_per_1k",
+            report.coverage.novel_per_1k(),
+        );
+        if let Err(e) = std::fs::write(path, reg.to_json()) {
+            eprintln!("cannot write '{path}': {e}");
+            return ExitCode::from(2);
+        }
+    }
+
     if json {
         let findings: Vec<String> = report
             .findings
@@ -584,6 +637,7 @@ fn store_main(args: &[String]) -> ExitCode {
     let mut put_fraction: f64 = 0.2;
     let mut backends: Vec<ProtocolId> = vec![ProtocolId::FastCrash];
     let mut dist = KeyDist::Uniform;
+    let mut metrics_out: Option<String> = None;
     let mut json = false;
 
     let mut it = args.iter();
@@ -592,7 +646,8 @@ fn store_main(args: &[String]) -> ExitCode {
             eprintln!(
                 "usage: report store [--shards N] [--threads N] [--keys N] [--ops N] \
                  [--clients N] [--seed N] [--put-fraction F] \
-                 [--protocol name[,name…]] [--skew uniform|zipf[:EXP]] [--json]"
+                 [--protocol name[,name…]] [--skew uniform|zipf[:EXP]] \
+                 [--metrics-out FILE] [--json]"
             );
             ExitCode::from(2)
         };
@@ -664,6 +719,10 @@ fn store_main(args: &[String]) -> ExitCode {
                     return ExitCode::from(2);
                 };
             }
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(v.clone()),
+                None => return usage(),
+            },
             "--json" => json = true,
             _ => {
                 eprintln!("unknown store flag '{a}'");
@@ -709,6 +768,25 @@ fn store_main(args: &[String]) -> ExitCode {
     };
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let unexpected = report.check.unexpected().count();
+
+    // The store metrics snapshot through the shared observability
+    // registry: per-shard counters plus the frontend's batching
+    // numbers. No wall-clock fields — byte-identical at any --threads.
+    if let Some(path) = &metrics_out {
+        let mut reg = fastreg_obs::MetricsRegistry::new();
+        fastreg_workload::obsrun::record_store_metrics(&store, &mut reg);
+        reg.counter_add("store.frontend.ops", report.stats.ops);
+        reg.counter_add("store.frontend.flushes", report.stats.flushes);
+        reg.counter_add("store.frontend.shard_batches", report.stats.shard_batches);
+        reg.counter_add("store.frontend.waves", report.stats.waves);
+        reg.gauge_max("store.frontend.max_flush_ops", report.stats.max_flush_ops);
+        reg.counter_add("store.puts", report.puts);
+        reg.counter_add("store.gets", report.gets);
+        if let Err(e) = std::fs::write(path, reg.to_json()) {
+            eprintln!("cannot write '{path}': {e}");
+            return ExitCode::from(2);
+        }
+    }
 
     let backend_names: Vec<&str> = backends.iter().map(|b| b.name()).collect();
     let lat = |s: &Option<fastreg_workload::LatencyStats>| match s {
@@ -821,15 +899,165 @@ fn store_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `report trace` — one instrumented run, exported as observability
+/// artifacts: a Chrome `trace_event` JSON document (Perfetto-loadable)
+/// and a deterministic metrics snapshot.
+///
+/// `--experiment register` drives a closed-loop register workload at
+/// the protocol's canonical sample configuration; `--experiment store`
+/// drives the sharded KV store. Both are simnet runs, so the bytes are
+/// a pure function of the flags: same seed ⇒ same artifacts, and for
+/// the store the `--threads` worker-pool size never leaks into them —
+/// the contract CI pins with `cmp`.
+fn trace_main(args: &[String]) -> ExitCode {
+    use fastreg_workload::kv::{KeyDist, KvWorkloadSpec};
+    use fastreg_workload::{trace_register_run, trace_store_run, WorkloadSpec};
+
+    let mut experiment = String::from("register");
+    let mut protocol = ProtocolId::FastCrash;
+    let mut seed: u64 = 0;
+    let mut ops: u64 = 200;
+    let mut threads: usize = 4;
+    let mut shards: u32 = 4;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let usage = || {
+            eprintln!(
+                "usage: report trace [--experiment register|store] [--protocol <name>] \
+                 [--seed N] [--ops N] [--shards N] [--threads N] \
+                 [--trace-out FILE] [--metrics-out FILE]"
+            );
+            ExitCode::from(2)
+        };
+        macro_rules! numeric_flag {
+            ($target:ident) => {{
+                match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => $target = v,
+                    None => return usage(),
+                }
+            }};
+        }
+        match a.as_str() {
+            "--experiment" => match it.next() {
+                Some(v) => experiment = v.clone(),
+                None => return usage(),
+            },
+            "--protocol" => match it.next().map(|v| ProtocolId::parse(v)) {
+                Some(Ok(id)) => protocol = id,
+                Some(Err(e)) => {
+                    eprintln!("{e}");
+                    return ExitCode::from(2);
+                }
+                None => return usage(),
+            },
+            "--seed" => numeric_flag!(seed),
+            "--ops" => numeric_flag!(ops),
+            "--threads" => numeric_flag!(threads),
+            "--shards" => numeric_flag!(shards),
+            "--trace-out" => match it.next() {
+                Some(v) => trace_out = Some(v.clone()),
+                None => return usage(),
+            },
+            "--metrics-out" => match it.next() {
+                Some(v) => metrics_out = Some(v.clone()),
+                None => return usage(),
+            },
+            _ => {
+                eprintln!("unknown trace flag '{a}'");
+                return usage();
+            }
+        }
+    }
+
+    let artifacts = match experiment.as_str() {
+        "register" => {
+            let spec = WorkloadSpec {
+                n_ops: ops,
+                write_fraction: 0.3,
+                think_time: 1,
+                seed,
+            };
+            match trace_register_run(protocol, protocol.sample_config(), seed, &spec) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("trace run failed: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        "store" => {
+            let spec = KvWorkloadSpec {
+                n_ops: ops,
+                n_keys: 64,
+                n_clients: 16,
+                put_fraction: 0.3,
+                dist: KeyDist::Uniform,
+                seed,
+            };
+            match trace_store_run(
+                protocol,
+                protocol.sample_config(),
+                shards,
+                seed,
+                &spec,
+                threads,
+            ) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("trace run failed: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+        other => {
+            eprintln!("unknown --experiment '{other}' (valid: register, store)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let trace = artifacts.chrome_trace();
+    let metrics = artifacts.metrics_json();
+    println!(
+        "trace: {} events ({} bytes of chrome trace_event JSON), metrics: {} bytes \
+         ({experiment}, {}, seed {seed}, {ops} ops)",
+        artifacts.events.len(),
+        trace.len(),
+        metrics.len(),
+        protocol.name()
+    );
+    if let Some(path) = &trace_out {
+        if let Err(e) = std::fs::write(path, &trace) {
+            eprintln!("cannot write '{path}': {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path} (open in Perfetto: https://ui.perfetto.dev)");
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, &metrics) {
+            eprintln!("cannot write '{path}': {e}");
+            return ExitCode::from(2);
+        }
+        println!("wrote {path}");
+    }
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
 
-    // The explore and store subcommands own their own flag spaces.
+    // The explore, store and trace subcommands own their own flag
+    // spaces.
     if args.first().map(String::as_str) == Some("explore") {
         return explore_main(&args[1..]);
     }
     if args.first().map(String::as_str) == Some("store") {
         return store_main(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_main(&args[1..]);
     }
 
     // One parse loop; unknown flags and names are errors, not silent
@@ -1029,8 +1257,18 @@ fn main() -> ExitCode {
                             e.id, "-", wall_ms, "-"
                         );
                     }
+                    // A 0 ms baseline (timer granularity, truncated
+                    // file) makes every delta infinite: report it,
+                    // never gate on it.
+                    Some((_, base_ms)) if *base_ms <= 0.0 => {
+                        let _ = writeln!(
+                            cmp,
+                            "{:<5} {:>12.3} {:>12.3} {:>9}  unusable baseline (0 ms) — not gated",
+                            e.id, base_ms, wall_ms, "-"
+                        );
+                    }
                     Some((_, base_ms)) => {
-                        let delta_pct = (wall_ms - base_ms) / base_ms.max(f64::EPSILON) * 100.0;
+                        let delta_pct = (wall_ms - base_ms) / base_ms * 100.0;
                         let verdict = match check_regression {
                             Some(pct) if delta_pct > pct => {
                                 regressed.push(e.id);

@@ -239,6 +239,104 @@ fn regression_past_the_threshold_exits_1() {
 }
 
 #[test]
+fn zero_wall_time_baseline_is_reported_not_gated() {
+    // A 0 ms baseline entry (timer granularity, hand-edited file) would
+    // make any real wall time an infinite regression; the comparison
+    // must flag the entry as unusable instead of gating on it.
+    let baseline = TempFile::with_content(
+        "zero.json",
+        "{\n  \"experiments\": [\n    {\n      \"id\": \"e13\",\n      \
+         \"wall_ms\": 0.0\n    }\n  ]\n}\n",
+    );
+    let out = report(&[
+        "--quick",
+        "--baseline",
+        baseline.path(),
+        "--check-regression",
+        "10",
+        "e13",
+    ]);
+    assert!(out.status.success(), "{out:?}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("unusable baseline (0 ms)"), "{stdout}");
+    assert!(!stdout.contains("REGRESSED"));
+}
+
+#[test]
+fn trace_subcommand_writes_deterministic_artifacts() {
+    let trace_a = TempFile::with_content("trace_a.json", "");
+    let metrics_a = TempFile::with_content("metrics_a.json", "");
+    let run = |trace: &str, metrics: &str| {
+        let out = report(&[
+            "trace",
+            "--experiment",
+            "register",
+            "--protocol",
+            "fast-crash",
+            "--seed",
+            "5",
+            "--ops",
+            "40",
+            "--trace-out",
+            trace,
+            "--metrics-out",
+            metrics,
+        ]);
+        assert!(out.status.success(), "{out:?}");
+    };
+    run(trace_a.path(), metrics_a.path());
+    let trace = std::fs::read_to_string(trace_a.path()).unwrap();
+    let metrics = std::fs::read_to_string(metrics_a.path()).unwrap();
+    // Chrome trace_event JSON, the shape Perfetto loads.
+    assert!(trace.starts_with("{\"traceEvents\":["), "{trace}");
+    assert!(trace.trim_end().ends_with("]}"), "{trace}");
+    assert!(trace.contains("\"ph\":"));
+    assert!(metrics.contains("\"counters\""), "{metrics}");
+    assert!(metrics.contains("\"net.sent\""), "{metrics}");
+    // Same flags ⇒ same bytes.
+    let trace_b = TempFile::with_content("trace_b.json", "");
+    let metrics_b = TempFile::with_content("metrics_b.json", "");
+    run(trace_b.path(), metrics_b.path());
+    assert_eq!(trace, std::fs::read_to_string(trace_b.path()).unwrap());
+    assert_eq!(metrics, std::fs::read_to_string(metrics_b.path()).unwrap());
+}
+
+#[test]
+fn trace_store_metrics_are_thread_count_independent() {
+    let run = |threads: &str, file: &TempFile| {
+        let out = report(&[
+            "trace",
+            "--experiment",
+            "store",
+            "--seed",
+            "3",
+            "--ops",
+            "120",
+            "--shards",
+            "4",
+            "--threads",
+            threads,
+            "--metrics-out",
+            file.path(),
+        ]);
+        assert!(out.status.success(), "{out:?}");
+        std::fs::read_to_string(file.path()).unwrap()
+    };
+    let m1 = TempFile::with_content("store_m1.json", "");
+    let m4 = TempFile::with_content("store_m4.json", "");
+    assert_eq!(run("1", &m1), run("4", &m4));
+}
+
+#[test]
+fn unknown_trace_flag_exits_2() {
+    let out = report(&["trace", "--budget", "8"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8(out.stderr).unwrap();
+    assert!(stderr.contains("--budget"));
+    assert!(stderr.contains("usage: report trace"));
+}
+
+#[test]
 fn experiment_missing_from_baseline_is_informational_not_a_regression() {
     // The gate judges only experiments present in both sets: a baseline
     // predating a new experiment (the E17 scenario) must not trip a

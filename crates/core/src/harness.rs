@@ -1204,6 +1204,16 @@ pub trait SimControl: RegisterOps {
     /// direct signal of how contended/degraded the quorum state was.
     /// Empty for protocols whose readers keep no witness histogram.
     fn witness_levels(&self) -> Vec<(u32, u64)>;
+    /// Snapshot of the simulated world's network statistics
+    /// (sent/delivered/dropped/steps plus per-process tallies) — the
+    /// observability layer's raw material for its `net.*` counters.
+    fn net_stats(&self) -> fastreg_simnet::stats::NetStats;
+    /// The world's retained trace entries so far (the trace is bounded;
+    /// see [`Trace::suppressed`](fastreg_simnet::trace::Trace::suppressed)),
+    /// from which the observability layer derives message spans.
+    fn trace_entries(&self) -> Vec<fastreg_simnet::trace::TraceEntry>;
+    /// Lifetime counters of the timed scheduler's ready-queue index.
+    fn sched_counters(&self) -> fastreg_simnet::world::SchedStats;
 }
 
 impl<P: ProtocolFamily> RegisterOps for Cluster<P> {
@@ -1356,6 +1366,18 @@ impl<P: ProtocolFamily> SimControl for Cluster<P> {
             }
         }
         agg.into_iter().collect()
+    }
+
+    fn net_stats(&self) -> fastreg_simnet::stats::NetStats {
+        self.world.stats().clone()
+    }
+
+    fn trace_entries(&self) -> Vec<fastreg_simnet::trace::TraceEntry> {
+        self.world.trace().entries().to_vec()
+    }
+
+    fn sched_counters(&self) -> fastreg_simnet::world::SchedStats {
+        self.world.sched_stats()
     }
 }
 

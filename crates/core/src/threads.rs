@@ -24,7 +24,8 @@ use fastreg_atomicity::history::{History, SharedHistory};
 use fastreg_atomicity::linearizability::{check_linearizable, LinCheckError};
 use fastreg_atomicity::regularity::{check_swmr_regularity, RegularityViolation};
 use fastreg_atomicity::swmr::{check_swmr_atomicity, AtomicityViolation};
-use fastreg_rt::{ActorPool, RtConfig};
+use fastreg_rt::ActorPool;
+pub use fastreg_rt::RtConfig;
 use fastreg_simnet::world::QuiescenceError;
 
 use crate::config::ClusterConfig;
@@ -93,6 +94,14 @@ impl<P: ProtocolFamily> ThreadCluster<P> {
     /// Number of worker threads actually running.
     pub fn workers(&self) -> usize {
         self.pool.workers()
+    }
+
+    /// A snapshot of the underlying pool's runtime counters (drain
+    /// batches, mailbox-depth high-water proxy, per-actor busy µs) —
+    /// the threads leg of the observability harvest. Wall-clock
+    /// derived and informational only.
+    pub fn rt_stats(&self) -> fastreg_rt::RtStats {
+        self.pool.stats()
     }
 
     /// Outstanding operations of client `addr` (issued minus completed).

@@ -7,7 +7,7 @@
 //! used to be enforced only by example-based tests. This crate makes
 //! them *checked properties of the source*: a dependency-free,
 //! workspace-aware scanner (hand-rolled tokenizer, no `syn`) walks every
-//! crate and enforces six named rules with spans; see
+//! crate and enforces seven named rules with spans; see
 //! [`rules`] for the rule table and [`scanner`] for what the tokenizer
 //! does and does not understand.
 //!

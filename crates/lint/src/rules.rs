@@ -1,4 +1,4 @@
-//! The six workspace invariants, as named rules with spans.
+//! The seven workspace invariants, as named rules with spans.
 //!
 //! | id | code | invariant |
 //! |----|------|-----------|
@@ -8,9 +8,10 @@
 //! | D4 | `panic-hygiene` | no `settle()`/`run_until_quiescent_or_panic`/bare `unwrap()` in non-test protocol/checker library code |
 //! | D5 | `registry-completeness` | every `ProtocolId` variant has a registry entry, a `build_threads` constructor and a conformance appearance |
 //! | D6 | `thread-spawn` | raw thread creation (`thread::spawn`/`thread::Builder`) only in `crates/rt` and `simnet/src/threaded.rs` |
+//! | D7 | `obs-clock-discipline` | the observability wall-clock (`MonoClock`) is constructed only inside `crates/rt` (and defined in `crates/obs`) |
 //!
-//! D1–D4 and D6 are per-line token rules scoped by repo-relative path;
-//! D5 is a cross-file rule over `registry.rs` and
+//! D1–D4, D6 and D7 are per-line token rules scoped by repo-relative
+//! path; D5 is a cross-file rule over `registry.rs` and
 //! `tests/protocol_conformance.rs`.
 //! Any finding can be waived *with a written justification* via
 //! `// fastreg-lint: allow(<code>): <reason>` on (or directly above) the
@@ -20,7 +21,7 @@ use std::fmt;
 
 use crate::scanner::{find_token, Scanned};
 
-/// One of the six enforced invariants.
+/// One of the seven enforced invariants.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// D1: nondeterministic iteration order on a verdict-feeding path.
@@ -35,17 +36,20 @@ pub enum Rule {
     RegistryCompleteness,
     /// D6: raw thread creation outside the sanctioned runtime sites.
     ThreadSpawn,
+    /// D7: the observability wall-clock constructed outside `crates/rt`.
+    ObsClockDiscipline,
 }
 
 impl Rule {
-    /// Every rule, in D1..D6 order.
-    pub const ALL: [Rule; 6] = [
+    /// Every rule, in D1..D7 order.
+    pub const ALL: [Rule; 7] = [
         Rule::NondetOrder,
         Rule::WallClock,
         Rule::SubstrateIsolation,
         Rule::PanicHygiene,
         Rule::RegistryCompleteness,
         Rule::ThreadSpawn,
+        Rule::ObsClockDiscipline,
     ];
 
     /// Stable kebab-case code — the name used in allow annotations and
@@ -58,10 +62,11 @@ impl Rule {
             Rule::PanicHygiene => "panic-hygiene",
             Rule::RegistryCompleteness => "registry-completeness",
             Rule::ThreadSpawn => "thread-spawn",
+            Rule::ObsClockDiscipline => "obs-clock-discipline",
         }
     }
 
-    /// Short id (`D1`..`D6`).
+    /// Short id (`D1`..`D7`).
     pub fn id(self) -> &'static str {
         match self {
             Rule::NondetOrder => "D1",
@@ -70,6 +75,7 @@ impl Rule {
             Rule::PanicHygiene => "D4",
             Rule::RegistryCompleteness => "D5",
             Rule::ThreadSpawn => "D6",
+            Rule::ObsClockDiscipline => "D7",
         }
     }
 
@@ -100,6 +106,11 @@ impl Rule {
                 "thread::spawn/thread::Builder only in crates/rt and \
                  simnet/src/threaded.rs — everything else goes through the \
                  runtime or the ordered worker pool"
+            }
+            Rule::ObsClockDiscipline => {
+                "the observability wall-clock (MonoClock) is constructed only \
+                 inside crates/rt — simnet-side instrumentation must use \
+                 LogicalClock so artifacts stay deterministic"
             }
         }
     }
@@ -190,6 +201,16 @@ fn d6_exempt(p: &str) -> bool {
     p.starts_with("crates/rt/") || p == "crates/simnet/src/threaded.rs"
 }
 
+/// D7 exemptions: `crates/obs` defines `MonoClock` (the quarantined
+/// wall-clock source itself) and `crates/rt` is the one substrate
+/// allowed to construct it. Everywhere else a `MonoClock` mention is a
+/// determinism leak: simnet-side instrumentation must run on
+/// `LogicalClock` ticks so trace and metrics bytes stay a pure function
+/// of the seed.
+fn d7_exempt(p: &str) -> bool {
+    p.starts_with("crates/rt/") || p.starts_with("crates/obs/")
+}
+
 const D1_TOKENS: &[&str] = &["HashMap", "HashSet"];
 const D2_TOKENS: &[&str] = &["Instant::now", "SystemTime"];
 const D3_TOKENS: &[&str] = &[
@@ -205,6 +226,7 @@ const D3_TOKENS: &[&str] = &[
 ];
 const D4_TOKENS: &[&str] = &[".unwrap()", ".settle()", "run_until_quiescent_or_panic"];
 const D6_TOKENS: &[&str] = &["thread::spawn", "thread::Builder"];
+const D7_TOKENS: &[&str] = &["MonoClock"];
 
 /// Applies the per-line rules D1–D4 to one scanned file.
 pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Finding> {
@@ -223,6 +245,9 @@ pub fn check_file(path: &str, scanned: &Scanned) -> Vec<Finding> {
     }
     if !d6_exempt(path) {
         rules.push((Rule::ThreadSpawn, D6_TOKENS, false));
+    }
+    if !d7_exempt(path) {
+        rules.push((Rule::ObsClockDiscipline, D7_TOKENS, false));
     }
     let mut findings = Vec::new();
     for line in &scanned.lines {
@@ -460,6 +485,18 @@ mod tests {
         // A method named spawn on some pool type is not thread::spawn.
         let p = scan("let pool = ActorPool::spawn(automata, cfg);\n");
         assert_eq!(check_file("crates/workload/src/driver.rs", &p).len(), 0);
+    }
+
+    #[test]
+    fn d7_exempts_only_the_clock_owners() {
+        let s = scan("let clock = MonoClock::new();\n");
+        assert_eq!(check_file("crates/workload/src/obsrun.rs", &s).len(), 1);
+        assert_eq!(check_file("crates/simnet/src/world/sched.rs", &s).len(), 1);
+        assert_eq!(check_file("crates/rt/src/lib.rs", &s).len(), 0);
+        assert_eq!(check_file("crates/obs/src/clock.rs", &s).len(), 0);
+        // The logical clock is the sanctioned instrument everywhere.
+        let l = scan("let clock = LogicalClock::new();\n");
+        assert_eq!(check_file("crates/workload/src/obsrun.rs", &l).len(), 0);
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn scan_fixture(name: &str, extra: &[&str]) -> Output {
 
 #[test]
 fn every_positive_fixture_exits_one() {
-    for rule in ["d1", "d2", "d3", "d4", "d5", "d6"] {
+    for rule in ["d1", "d2", "d3", "d4", "d5", "d6", "d7"] {
         let out = scan_fixture(&format!("{rule}/pos"), &[]);
         assert_eq!(
             out.status.code(),
@@ -41,7 +41,7 @@ fn every_positive_fixture_exits_one() {
 
 #[test]
 fn negative_and_allowed_fixtures_exit_zero() {
-    for rule in ["d1", "d2", "d3", "d4", "d5", "d6"] {
+    for rule in ["d1", "d2", "d3", "d4", "d5", "d6", "d7"] {
         for kind in ["neg", "allowed"] {
             let out = scan_fixture(&format!("{rule}/{kind}"), &[]);
             assert_eq!(
@@ -81,11 +81,12 @@ fn list_rules_prints_the_rule_table() {
     let out = run(&["--list-rules"]);
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(stdout.lines().count(), 6);
+    assert_eq!(stdout.lines().count(), 7);
     for id in [
         "D1 nondet-order",
         "D5 registry-completeness",
         "D6 thread-spawn",
+        "D7 obs-clock-discipline",
     ] {
         assert!(stdout.contains(id), "missing '{id}' in:\n{stdout}");
     }

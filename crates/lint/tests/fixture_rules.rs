@@ -163,6 +163,40 @@ fn d6_annotation_waives() {
 }
 
 #[test]
+fn d7_positive_gates_monoclock_outside_rt() {
+    let r = scan("d7/pos");
+    let gating: Vec<_> = r.unannotated().collect();
+    assert_eq!(gating.len(), 2, "{}", r.table());
+    for f in &gating {
+        assert_eq!(f.rule, Rule::ObsClockDiscipline);
+        assert_eq!(f.file, "crates/workload/src/lib.rs");
+    }
+    assert_eq!(gating[0].line, 1, "the import");
+    assert_eq!(gating[1].line, 4, "the construction");
+}
+
+#[test]
+fn d7_negative_exempts_the_clock_owners() {
+    // MonoClock in crates/rt (the sanctioned constructor site) and in
+    // crates/obs (the definition) is the point; mentions in comments
+    // and string literals are not constructions.
+    let r = scan("d7/neg");
+    assert_eq!(r.findings, vec![], "{}", r.table());
+    assert_eq!(r.files_scanned, 3);
+}
+
+#[test]
+fn d7_annotation_waives() {
+    let r = scan("d7/allowed");
+    assert_eq!(r.findings.len(), 1, "{}", r.table());
+    assert_eq!(r.unannotated().count(), 0);
+    assert_eq!(
+        r.findings[0].allowed.as_deref(),
+        Some("ad-hoc profiling probe, output never feeds a trace or metric")
+    );
+}
+
+#[test]
 fn d5_positive_names_every_missing_wire() {
     let r = scan("d5/pos");
     assert_eq!(r.registry_variants, 3);

@@ -1,0 +1,5 @@
+pub fn profiled() -> u64 {
+    // fastreg-lint: allow(obs-clock-discipline): ad-hoc profiling probe, output never feeds a trace or metric
+    let clock = fastreg_obs::MonoClock::new();
+    clock.elapsed_us()
+}

@@ -1,0 +1,9 @@
+pub struct MonoClock {
+    start: std::time::Instant,
+}
+
+impl MonoClock {
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}

@@ -1,0 +1,4 @@
+pub fn worker_clock() -> u64 {
+    let clock = fastreg_obs::MonoClock::new();
+    clock.elapsed_us()
+}

@@ -1,0 +1,6 @@
+// A comment naming MonoClock does not fire, and neither does the token
+// inside a string literal; LogicalClock is the sanctioned instrument.
+pub fn through_the_logical_clock() -> &'static str {
+    let _doc = "never construct MonoClock outside crates/rt";
+    "LogicalClock ticks keep artifacts deterministic"
+}

@@ -1,0 +1,6 @@
+use fastreg_obs::MonoClock;
+
+pub fn leak_wall_clock_into_metrics() -> u64 {
+    let clock = MonoClock::new();
+    clock.elapsed_us()
+}

@@ -53,4 +53,15 @@ fn scan_actually_covered_the_tree() {
         "raw thread creation leaked outside the sanctioned substrates:\n{}",
         report.table()
     );
+    // D7: the observability wall-clock is defined in crates/obs and
+    // constructed only by crates/rt, so the shipped tree carries no
+    // obs-clock-discipline findings at all — not even allowed ones.
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.rule == Rule::ObsClockDiscipline),
+        "the observability wall-clock leaked outside crates/rt:\n{}",
+        report.table()
+    );
 }

@@ -1,0 +1,257 @@
+//! Span/event records and their deterministic merge.
+//!
+//! Instrumented code appends [`Event`]s to a per-thread (or per-phase)
+//! [`Recorder`]; the buffers are merged afterwards by [`merge`] into a
+//! single stream in deterministic `(time, track, lane, seq)` order.
+//! Because every field is either supplied by the caller or a local
+//! sequence number — never a host observation — the merged stream is a
+//! pure function of the run, and on simnet that means a pure function
+//! of the seed.
+
+use std::collections::BTreeMap;
+
+/// What kind of trace record an [`Event`] is.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// A span opens. Must be matched by an [`Phase::End`] with the
+    /// same name on the same `(track, lane)`.
+    Begin,
+    /// A span closes (LIFO within its `(track, lane)`).
+    End,
+    /// A point-in-time marker.
+    Instant,
+    /// A complete span recorded at its start time with an explicit
+    /// duration (Chrome `"X"` events); needs no matching close.
+    Complete {
+        /// Span duration in clock ticks.
+        dur: u64,
+    },
+}
+
+/// One structured trace record.
+///
+/// `track` and `lane` are the grouping axes (rendered as Chrome's
+/// pid/tid): a track is a subsystem or shard, a lane a process/actor
+/// within it. `seq` is the recorder-local sequence number breaking
+/// same-tick ties deterministically.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Event {
+    /// Timestamp in the recording clock's ticks.
+    pub at: u64,
+    /// Recorder-local sequence number (total order within a recorder).
+    pub seq: u64,
+    /// Record kind.
+    pub phase: Phase,
+    /// Static event name (e.g. `"op.read"`, `"msg"`).
+    pub name: &'static str,
+    /// Grouping axis 1 — subsystem/shard (Chrome pid).
+    pub track: u32,
+    /// Grouping axis 2 — process/actor (Chrome tid).
+    pub lane: u32,
+    /// Structured payload, rendered into the exporter's `args` object.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// An append-only event buffer bound to one `(track, lane)`.
+#[derive(Debug)]
+pub struct Recorder {
+    track: u32,
+    lane: u32,
+    seq: u64,
+    events: Vec<Event>,
+}
+
+impl Recorder {
+    /// A recorder for the given track and lane.
+    pub fn new(track: u32, lane: u32) -> Self {
+        Recorder {
+            track,
+            lane,
+            seq: 0,
+            events: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, at: u64, phase: Phase, name: &'static str, args: &[(&'static str, u64)]) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Event {
+            at,
+            seq,
+            phase,
+            name,
+            track: self.track,
+            lane: self.lane,
+            args: args.to_vec(),
+        });
+    }
+
+    /// Opens a span.
+    pub fn begin(&mut self, at: u64, name: &'static str, args: &[(&'static str, u64)]) {
+        self.push(at, Phase::Begin, name, args);
+    }
+
+    /// Closes the innermost open span named `name`.
+    pub fn end(&mut self, at: u64, name: &'static str) {
+        self.push(at, Phase::End, name, &[]);
+    }
+
+    /// Records a point-in-time marker.
+    pub fn instant(&mut self, at: u64, name: &'static str, args: &[(&'static str, u64)]) {
+        self.push(at, Phase::Instant, name, args);
+    }
+
+    /// Records a complete span (`at` … `at + dur`) in one record.
+    pub fn complete(
+        &mut self,
+        at: u64,
+        dur: u64,
+        name: &'static str,
+        args: &[(&'static str, u64)],
+    ) {
+        self.push(at, Phase::Complete { dur }, name, args);
+    }
+
+    /// Consumes the recorder, yielding its events in append order.
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+}
+
+/// Merges per-recorder buffers into one deterministic stream.
+///
+/// Stable sort by `(at, track, lane, seq)`: ties across recorders fall
+/// back to the track/lane identity, ties within a recorder to its own
+/// sequence number — host scheduling order never shows through.
+pub fn merge(buffers: Vec<Vec<Event>>) -> Vec<Event> {
+    let mut all: Vec<Event> = buffers.into_iter().flatten().collect();
+    all.sort_by_key(|e| (e.at, e.track, e.lane, e.seq));
+    all
+}
+
+/// Checks the Begin/End discipline of a merged stream.
+///
+/// Every [`Phase::End`] must close the innermost open [`Phase::Begin`]
+/// of the same name on its `(track, lane)`, and every opened span must
+/// close. [`Phase::Instant`] and [`Phase::Complete`] are always
+/// balanced.
+///
+/// # Errors
+///
+/// Returns a description of the first violation: a mismatched or
+/// unmatched `End`, or spans still open at end of stream.
+pub fn spans_balanced(events: &[Event]) -> Result<(), String> {
+    let mut open: BTreeMap<(u32, u32), Vec<&'static str>> = BTreeMap::new();
+    for e in events {
+        let stack = open.entry((e.track, e.lane)).or_default();
+        match e.phase {
+            Phase::Begin => stack.push(e.name),
+            Phase::End => match stack.pop() {
+                Some(top) if top == e.name => {}
+                Some(top) => {
+                    return Err(format!(
+                        "track {} lane {}: End '{}' closes open span '{}'",
+                        e.track, e.lane, e.name, top
+                    ));
+                }
+                None => {
+                    return Err(format!(
+                        "track {} lane {}: End '{}' with no open span",
+                        e.track, e.lane, e.name
+                    ));
+                }
+            },
+            Phase::Instant | Phase::Complete { .. } => {}
+        }
+    }
+    for ((track, lane), stack) in &open {
+        if let Some(name) = stack.last() {
+            return Err(format!(
+                "track {track} lane {lane}: span '{name}' never closed"
+            ));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_orders_by_time_then_identity_then_seq() {
+        let mut a = Recorder::new(0, 1);
+        a.begin(5, "x", &[]);
+        a.end(9, "x");
+        let mut b = Recorder::new(0, 0);
+        b.instant(5, "y", &[("k", 3)]);
+        let merged = merge(vec![a.into_events(), b.into_events()]);
+        let key: Vec<(u64, u32, &str)> = merged.iter().map(|e| (e.at, e.lane, e.name)).collect();
+        assert_eq!(key, vec![(5, 0, "y"), (5, 1, "x"), (9, 1, "x")]);
+    }
+
+    #[test]
+    fn merge_is_input_partition_independent() {
+        let mut one = Recorder::new(0, 0);
+        one.begin(1, "a", &[]);
+        one.end(2, "a");
+        let mut two = Recorder::new(1, 0);
+        two.begin(1, "b", &[]);
+        two.end(3, "b");
+        let (e1, e2) = (one.into_events(), two.into_events());
+        assert_eq!(
+            merge(vec![e1.clone(), e2.clone()]),
+            merge(vec![e2, e1]),
+            "merge must not depend on buffer arrival order"
+        );
+    }
+
+    #[test]
+    fn balanced_spans_pass() {
+        let mut r = Recorder::new(0, 0);
+        r.begin(1, "outer", &[]);
+        r.begin(2, "inner", &[]);
+        r.end(3, "inner");
+        r.end(4, "outer");
+        r.complete(5, 2, "x", &[]);
+        assert_eq!(spans_balanced(&r.into_events()), Ok(()));
+    }
+
+    #[test]
+    fn unclosed_and_mismatched_spans_fail() {
+        let mut r = Recorder::new(0, 0);
+        r.begin(1, "a", &[]);
+        assert!(spans_balanced(&r.into_events())
+            .unwrap_err()
+            .contains("never closed"));
+
+        let mut r = Recorder::new(0, 0);
+        r.begin(1, "a", &[]);
+        r.end(2, "b");
+        assert!(spans_balanced(&r.into_events())
+            .unwrap_err()
+            .contains("closes open span"));
+
+        let mut r = Recorder::new(0, 0);
+        r.end(2, "b");
+        assert!(spans_balanced(&r.into_events())
+            .unwrap_err()
+            .contains("no open span"));
+    }
+
+    #[test]
+    fn lanes_have_independent_stacks() {
+        let mut a = Recorder::new(0, 0);
+        a.begin(1, "a", &[]);
+        a.end(5, "a");
+        let mut b = Recorder::new(0, 1);
+        b.begin(2, "b", &[]);
+        b.end(3, "b");
+        // Interleaved in time (a opens, b opens+closes, a closes) but
+        // balanced per lane.
+        assert_eq!(
+            spans_balanced(&merge(vec![a.into_events(), b.into_events()])),
+            Ok(())
+        );
+    }
+}

@@ -1,0 +1,40 @@
+//! `fastreg_obs` — the deterministic tracing + metrics spine.
+//!
+//! Every other observability stack assumes a wall clock and tolerates
+//! racy counters; this workspace cannot — its load-bearing guarantee
+//! is *byte-identical artifacts at any thread count on simnet*, and an
+//! instrumentation layer that broke that would be banned from exactly
+//! the hot paths it exists to illuminate. So this crate is built
+//! around a hard determinism contract:
+//!
+//! - **Clocks are explicit** ([`clock`]): [`LogicalClock`] carries
+//!   simnet ticks and is the only clock legal outside `crates/rt`;
+//!   [`MonoClock`] (monotonic µs) is quarantined to the real-threads
+//!   runtime by lint rule D7 (`obs-clock-discipline`).
+//! - **Events merge deterministically** ([`event`]): per-thread
+//!   [`Recorder`] buffers merge by `(time, track, lane, seq)` — never
+//!   by host arrival order — and [`chrome_trace`] renders the merged
+//!   stream as Chrome `trace_event` JSON for Perfetto.
+//! - **Metrics are integers** ([`metrics`]): counters, high-water
+//!   gauges and log2-bucket [`Histogram`]s merge commutatively, so a
+//!   [`MetricsRegistry`] snapshot is byte-identical however the
+//!   updates were sharded across workers.
+//! - **Exact percentiles are shared** ([`summary`]): [`LatencyStats`]
+//!   is the one implementation of the report tables' quantile math.
+//!
+//! Like `fastreg_lint`, the crate is dependency-free: hand-rolled
+//! JSON, integer arithmetic, no serializer or time crate.
+
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod clock;
+pub mod event;
+pub mod metrics;
+pub mod summary;
+
+pub use chrome::chrome_trace;
+pub use clock::{Clock, LogicalClock, MonoClock};
+pub use event::{merge, spans_balanced, Event, Phase, Recorder};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use summary::LatencyStats;

@@ -70,9 +70,9 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use fastreg_obs::MonoClock;
 use fastreg_simnet::automaton::{Automaton, Outbox};
 use fastreg_simnet::id::ProcessId;
 use fastreg_simnet::time::SimTime;
@@ -151,6 +151,49 @@ enum Job<M> {
     Shutdown,
 }
 
+/// Upper bound on how many queued jobs a worker drains per wakeup.
+/// Bounds the latency penalty any single actor pays to batching while
+/// still amortizing the blocking-recv wakeup across a burst.
+pub const DRAIN_BATCH_MAX: usize = 256;
+
+/// Shared runtime counters, updated with relaxed atomics on the worker
+/// hot path. Wall-clock derived and scheduling dependent — strictly
+/// informational, never part of a determinism contract (unlike
+/// [`SchedStats`](fastreg_simnet::world::SchedStats), its simnet
+/// sibling).
+#[derive(Debug, Default)]
+struct RtCounters {
+    drained_batches: AtomicU64,
+    drained_messages: AtomicU64,
+    max_batch: AtomicU64,
+    busy_us: AtomicU64,
+}
+
+/// A snapshot of an [`ActorPool`]'s runtime counters
+/// ([`ActorPool::stats`]).
+///
+/// The channel spine exposes no queue-length probe, so mailbox depth is
+/// observed through its consumption: every worker wakeup drains up to
+/// [`DRAIN_BATCH_MAX`] queued jobs in one batch, and the batch length
+/// *is* the backlog that had accumulated — `max_batch` is therefore the
+/// pool's observed mailbox-depth high-water mark (saturating at the
+/// drain cap).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RtStats {
+    /// Worker wakeups that drained at least one job.
+    pub drained_batches: u64,
+    /// Total jobs drained across all batches.
+    pub drained_messages: u64,
+    /// Largest single drain batch (mailbox-depth high-water proxy,
+    /// capped at [`DRAIN_BATCH_MAX`]).
+    pub max_batch: u64,
+    /// Total microseconds workers spent inside actor steps (`on_start`
+    /// / `on_message` plus routing), summed across workers.
+    pub busy_us: u64,
+    /// Per-actor busy microseconds, indexed by actor id.
+    pub busy_us_by_actor: Vec<u64>,
+}
+
 /// A running set of actors partitioned over a pool of worker threads.
 ///
 /// Construct with [`ActorPool::spawn`], drive with [`ActorPool::inject`],
@@ -164,21 +207,26 @@ pub struct ActorPool<M> {
     handles: Vec<JoinHandle<()>>,
     n_actors: usize,
     sent: Arc<AtomicU64>,
-    start: Instant,
+    clock: Arc<MonoClock>,
+    counters: Arc<RtCounters>,
+    busy_by_actor: Arc<Vec<AtomicU64>>,
 }
 
 impl<M: Clone + std::fmt::Debug + Send + 'static> ActorPool<M> {
     /// Spawns the pool: `automata[i]` becomes actor `ProcessId(i)` owned
     /// by worker `i mod workers`. Each automaton's `on_start` runs on its
     /// worker before that worker processes any message.
-    // The rt crate is a sanctioned wall-clock site (lint rule D2): real
-    // threads need real time for uptime accounting and settle deadlines.
-    #[allow(clippy::disallowed_methods)]
+    // The rt crate is the sanctioned habitat of the wall clock (lint
+    // rules D2/D7): real threads need real time for uptime accounting
+    // and busy-time attribution, via the quarantined obs::MonoClock.
     pub fn spawn(automata: Vec<Box<dyn Automaton<Msg = M>>>, cfg: RtConfig) -> Self {
         let n_actors = automata.len();
         let workers = cfg.workers.clamp(1, n_actors.max(1));
-        let start = Instant::now();
+        let clock = Arc::new(MonoClock::new());
         let sent = Arc::new(AtomicU64::new(0));
+        let counters = Arc::new(RtCounters::default());
+        let busy_by_actor: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n_actors).map(|_| AtomicU64::new(0)).collect());
         let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
 
         type Channel<M> = (Sender<Job<M>>, Receiver<Job<M>>);
@@ -196,6 +244,9 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ActorPool<M> {
         for (w, ((_, rx), mut actors)) in channels.into_iter().zip(owned).enumerate() {
             let peers = senders.clone();
             let sent = Arc::clone(&sent);
+            let clock = Arc::clone(&clock);
+            let counters = Arc::clone(&counters);
+            let busy_by_actor = Arc::clone(&busy_by_actor);
             let pin = cfg.affinity == Affinity::Pin;
             let handle = std::thread::Builder::new()
                 .name(format!("fastreg-rt-{w}"))
@@ -203,7 +254,7 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ActorPool<M> {
                     if pin {
                         pin_current_thread(w % cores);
                     }
-                    let now = || SimTime::from_ticks(start.elapsed().as_micros() as u64);
+                    let now = || SimTime::from_ticks(clock.elapsed_us());
                     // Routes one step's outbox onto the spine. Sends to a
                     // worker that already shut down are dropped — the
                     // same "stays in transit forever" semantics as the
@@ -221,24 +272,57 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ActorPool<M> {
                             }
                         }
                     };
+                    // One actor step with busy-time attribution.
+                    let step = |actors: &mut BTreeMap<u32, Box<dyn Automaton<Msg = M>>>,
+                                id: u32,
+                                from: Option<(ProcessId, M)>| {
+                        if let Some(actor) = actors.get_mut(&id) {
+                            let me = ProcessId::new(id);
+                            let t0 = clock.elapsed_us();
+                            let mut out = Outbox::new(me, now());
+                            match from {
+                                Some((from, msg)) => actor.on_message(from, msg, &mut out),
+                                None => actor.on_start(&mut out),
+                            }
+                            route(me, out);
+                            let dt = clock.elapsed_us().saturating_sub(t0);
+                            busy_by_actor[id as usize].fetch_add(dt, Ordering::Relaxed);
+                            counters.busy_us.fetch_add(dt, Ordering::Relaxed);
+                        }
+                    };
                     let ids: Vec<u32> = actors.keys().copied().collect();
                     for id in ids {
-                        let me = ProcessId::new(id);
-                        let mut out = Outbox::new(me, now());
-                        actors.get_mut(&id).expect("owned actor").on_start(&mut out);
-                        route(me, out);
+                        step(&mut actors, id, None);
                     }
-                    while let Ok(job) = rx.recv() {
-                        match job {
-                            Job::Deliver { to, from, msg } => {
-                                if let Some(actor) = actors.get_mut(&to) {
-                                    let me = ProcessId::new(to);
-                                    let mut out = Outbox::new(me, now());
-                                    actor.on_message(from, msg, &mut out);
-                                    route(me, out);
-                                }
+                    // Batched drain: one blocking recv per backlog burst,
+                    // then opportunistic try_recv up to the cap. The
+                    // batch length is the observed mailbox depth.
+                    let mut batch: Vec<Job<M>> = Vec::with_capacity(DRAIN_BATCH_MAX);
+                    'run: while let Ok(first) = rx.recv() {
+                        batch.push(first);
+                        while batch.len() < DRAIN_BATCH_MAX {
+                            match rx.try_recv() {
+                                Ok(job) => batch.push(job),
+                                Err(_) => break,
                             }
-                            Job::Shutdown => break,
+                        }
+                        counters.drained_batches.fetch_add(1, Ordering::Relaxed);
+                        counters
+                            .drained_messages
+                            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                        counters
+                            .max_batch
+                            .fetch_max(batch.len() as u64, Ordering::Relaxed);
+                        for job in batch.drain(..) {
+                            match job {
+                                Job::Deliver { to, from, msg } => {
+                                    step(&mut actors, to, Some((from, msg)));
+                                }
+                                // Stop exactly here: jobs drained after
+                                // the Shutdown marker are dropped, same
+                                // as the unbatched loop's semantics.
+                                Job::Shutdown => break 'run,
+                            }
                         }
                     }
                 })
@@ -251,7 +335,9 @@ impl<M: Clone + std::fmt::Debug + Send + 'static> ActorPool<M> {
             handles,
             n_actors,
             sent,
-            start,
+            clock,
+            counters,
+            busy_by_actor,
         }
     }
 
@@ -296,7 +382,25 @@ impl<M> ActorPool<M> {
     /// Microseconds elapsed since the pool started — the wall-clock
     /// analogue of the simulator's virtual `now`.
     pub fn now_ticks(&self) -> u64 {
-        self.start.elapsed().as_micros() as u64
+        self.clock.elapsed_us()
+    }
+
+    /// A snapshot of the pool's runtime counters (drain batches, the
+    /// mailbox-depth high-water proxy, per-actor busy time). Wall-clock
+    /// derived: informational only, never under a byte-identity
+    /// contract.
+    pub fn stats(&self) -> RtStats {
+        RtStats {
+            drained_batches: self.counters.drained_batches.load(Ordering::Relaxed),
+            drained_messages: self.counters.drained_messages.load(Ordering::Relaxed),
+            max_batch: self.counters.max_batch.load(Ordering::Relaxed),
+            busy_us: self.counters.busy_us.load(Ordering::Relaxed),
+            busy_us_by_actor: self
+                .busy_by_actor
+                .iter()
+                .map(|a| a.load(Ordering::Relaxed))
+                .collect(),
+        }
     }
 
     /// Stops every worker after it drains the jobs already queued, and
@@ -482,6 +586,37 @@ mod tests {
             RtConfig::new(2),
         );
         drop(pool); // must not hang or panic
+    }
+
+    #[test]
+    fn stats_count_drained_jobs() {
+        let (tx, rx) = mpsc::channel();
+        let pool = ActorPool::spawn(
+            vec![
+                Box::new(Initiator {
+                    peer: ProcessId::new(1),
+                    pongs: 0,
+                    expect: 10,
+                    done: tx,
+                }) as Box<dyn Automaton<Msg = Msg>>,
+                Box::new(Responder),
+            ],
+            RtConfig::new(2),
+        );
+        for _ in 0..10 {
+            pool.inject(ProcessId::new(0), Msg::Ping);
+        }
+        rx.recv_timeout(std::time::Duration::from_secs(30))
+            .expect("all pongs arrive");
+        let stats = pool.stats();
+        // 10 injections + 20 routed messages, all drained in batches.
+        assert!(stats.drained_messages >= 30);
+        assert!(stats.drained_batches >= 1);
+        assert!(stats.drained_batches <= stats.drained_messages);
+        assert!(stats.max_batch >= 1);
+        assert!(stats.max_batch <= DRAIN_BATCH_MAX as u64);
+        assert_eq!(stats.busy_us_by_actor.len(), 2);
+        pool.shutdown();
     }
 
     #[test]

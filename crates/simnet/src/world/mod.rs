@@ -26,8 +26,8 @@ use crate::stats::NetStats;
 use crate::time::SimTime;
 use crate::trace::{DropReason, Trace, TraceEntry};
 
-pub use sched::QuiescenceError;
 use sched::ReadyQueue;
+pub use sched::{QuiescenceError, SchedStats};
 
 /// Error returned by scripted delivery operations.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -149,6 +149,12 @@ impl<M: Clone + fmt::Debug + Send + 'static> World<M> {
     /// Network statistics so far.
     pub fn stats(&self) -> &NetStats {
         &self.stats
+    }
+
+    /// Lifetime counters of the timed scheduler's ready-queue index
+    /// (pushes, pops, parks, heals, heap high-water).
+    pub fn sched_stats(&self) -> sched::SchedStats {
+        self.ready.stats()
     }
 
     /// The world's seeded random source, for drivers that need reproducible

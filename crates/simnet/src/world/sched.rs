@@ -59,6 +59,26 @@ pub type Link = (ProcessId, ProcessId);
 /// its id as the (send-order) tie-breaker.
 pub type ReadyEntry = (SimTime, MsgId);
 
+/// Deterministic counters over a [`ReadyQueue`]'s lifetime, harvested
+/// by the observability layer. Every field is driven by scheduler
+/// operations — which on simnet are a pure function of the seed — so
+/// the snapshot is identical across runs and worker counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Entries indexed ([`ReadyQueue::push`]), re-pushes from
+    /// [`ReadyQueue::heal`] included.
+    pub pushed: u64,
+    /// Entries popped for validation (stale entries included).
+    pub popped: u64,
+    /// Entries parked on a blocked link.
+    pub parked: u64,
+    /// Entries released back into the heap by [`ReadyQueue::heal`].
+    pub healed: u64,
+    /// High-water mark of the heap length (index depth, not exact
+    /// queue depth: stale entries count until skimmed).
+    pub heap_high_water: u64,
+}
+
 /// The timed scheduler's index over `mset`: a min-heap keyed by
 /// `(ready_at, MsgId)` with a parking table for blocked links.
 ///
@@ -72,6 +92,7 @@ pub struct ReadyQueue {
     // so the pop order is independent of this map's internal order.
     // fastreg-lint: allow(nondet-order): per-link parking table, keyed access only, never iterated
     parked: HashMap<Link, Vec<ReadyEntry>>,
+    stats: SchedStats,
 }
 
 impl ReadyQueue {
@@ -83,12 +104,18 @@ impl ReadyQueue {
     /// Indexes a (new or re-validated) in-transit message.
     pub fn push(&mut self, ready_at: SimTime, id: MsgId) {
         self.heap.push(Reverse((ready_at, id)));
+        self.stats.pushed += 1;
+        self.stats.heap_high_water = self.stats.heap_high_water.max(self.heap.len() as u64);
     }
 
     /// Pops the entry with the smallest `(ready_at, id)`, stale entries
     /// included — the caller validates against `mset`.
     pub fn pop(&mut self) -> Option<ReadyEntry> {
-        self.heap.pop().map(|Reverse(entry)| entry)
+        let entry = self.heap.pop().map(|Reverse(entry)| entry);
+        if entry.is_some() {
+            self.stats.popped += 1;
+        }
+        entry
     }
 
     /// The entry [`pop`](Self::pop) would return, without removing it.
@@ -101,15 +128,24 @@ impl ReadyQueue {
     /// the heap until [`heal`](Self::heal) releases the link.
     pub fn park(&mut self, link: Link, entry: ReadyEntry) {
         self.parked.entry(link).or_default().push(entry);
+        self.stats.parked += 1;
     }
 
     /// Re-indexes everything parked on `link` (no-op if nothing is).
     pub fn heal(&mut self, link: Link) {
         if let Some(entries) = self.parked.remove(&link) {
             for entry in entries {
-                self.heap.push(Reverse(entry));
+                self.stats.healed += 1;
+                // Via `push` so re-indexing counts and the high-water
+                // mark stays accurate.
+                self.push(entry.0, entry.1);
             }
         }
+    }
+
+    /// The lifetime counters (see [`SchedStats`]).
+    pub fn stats(&self) -> SchedStats {
+        self.stats
     }
 }
 
@@ -183,6 +219,33 @@ mod tests {
         // Healing an unknown link is a no-op.
         q.heal((ProcessId::new(5), ProcessId::new(6)));
         assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn stats_count_every_scheduler_operation() {
+        let mut q = ReadyQueue::new();
+        let link = (ProcessId::new(0), ProcessId::new(1));
+        q.push(SimTime::from_ticks(1), MsgId(1));
+        q.push(SimTime::from_ticks(2), MsgId(2));
+        assert_eq!(q.stats().heap_high_water, 2);
+        let popped = q.pop().unwrap();
+        q.park(link, popped);
+        q.heal(link);
+        q.pop();
+        q.pop();
+        assert_eq!(
+            q.stats(),
+            SchedStats {
+                pushed: 3, // 2 pushes + 1 heal re-push
+                popped: 3,
+                parked: 1,
+                healed: 1,
+                heap_high_water: 2,
+            }
+        );
+        // Pop on an empty heap is not an operation.
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.stats().popped, 3);
     }
 
     #[test]

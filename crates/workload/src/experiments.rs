@@ -27,9 +27,9 @@ use crate::driver::{run_closed_loop, WorkloadSpec};
 use crate::table::Table;
 
 /// The experiment ids, in suite order.
-pub const EXPERIMENT_IDS: [&str; 18] = [
+pub const EXPERIMENT_IDS: [&str; 19] = [
     "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "e12", "e13", "e14", "e15",
-    "e16", "e17", "e18",
+    "e16", "e17", "e18", "e19",
 ];
 
 /// The protocols experiment `id` exercises — the ground truth for the
@@ -64,6 +64,9 @@ pub fn experiment_protocols(id: &str) -> &'static [ProtocolId] {
         // E18 grades synthetic SWMR histories shaped like fast-crash
         // closed-loop runs (the checkers, not a cluster, are under test).
         "e18" => &[ProtocolId::FastCrash],
+        // E19 asserts observability invariants on every registered
+        // protocol, each at its canonical sample configuration.
+        "e19" => &ProtocolId::ALL,
         _ => &[],
     }
 }
@@ -1356,6 +1359,139 @@ pub fn e18_checker_throughput(sizes: &[u64], batch_cap: u64, threads: usize) -> 
     table
 }
 
+/// E19 — observability invariants: every registered protocol runs an
+/// instrumented closed-loop workload at its canonical sample
+/// configuration on *both* runtimes.
+///
+/// On simnet the metrics snapshot must satisfy the conservation law
+/// `net.delivered == net.sent − net.dropped` with nothing left in
+/// transit after settling, every per-(track, lane) span stream must
+/// balance, and the full artifact pair (Chrome trace + metrics JSON)
+/// must be byte-identical across two fresh deployments at the same
+/// seed. On the real-threads runtime wall time is an input, so the
+/// contract weakens to completion plus actor-pool counter sanity
+/// (every op's messages were drained through the mailboxes).
+pub fn e19_obs_invariants(n_ops: u64) -> Table {
+    use crate::obsrun::trace_register_run;
+    use fastreg::harness::{Affinity, Runtime};
+    use fastreg::threads::{RtConfig, ThreadCluster};
+    use fastreg_obs::spans_balanced;
+
+    let mut table = Table::new(vec![
+        "protocol",
+        "sent",
+        "delivered",
+        "dropped",
+        "spans",
+        "deterministic",
+        "rt completed",
+    ]);
+    let spec = WorkloadSpec {
+        n_ops,
+        write_fraction: 0.3,
+        think_time: 1,
+        seed: 19,
+    };
+    for id in ProtocolId::ALL {
+        let cfg = id.sample_config();
+
+        // Simnet leg: conservation, balance, byte-determinism.
+        let run = || {
+            trace_register_run(id, cfg, 19, &spec)
+                .unwrap_or_else(|e| panic!("E19: {id} stalled on simnet: {e}"))
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(
+            a.chrome_trace(),
+            b.chrome_trace(),
+            "E19: {id} trace must be byte-identical across fresh instances"
+        );
+        assert_eq!(
+            a.metrics_json(),
+            b.metrics_json(),
+            "E19: {id} metrics must be byte-identical across fresh instances"
+        );
+        let sent = a.metrics.counter("net.sent");
+        let delivered = a.metrics.counter("net.delivered");
+        let dropped = a.metrics.counter("net.dropped");
+        assert_eq!(
+            delivered,
+            sent - dropped,
+            "E19: {id} violates message conservation"
+        );
+        assert_eq!(
+            a.metrics.counter("net.in_transit"),
+            0,
+            "E19: {id} settled with messages still in transit"
+        );
+        spans_balanced(&a.events)
+            .unwrap_or_else(|e| panic!("E19: {id} emitted unbalanced spans: {e}"));
+        assert_eq!(
+            a.metrics.counter("ops.completed"),
+            n_ops,
+            "E19: {id} must complete every op on simnet"
+        );
+
+        // Threads leg: the same automata behind the actor pool.
+        let mut rt = ClusterBuilder::new(cfg)
+            .seed(19)
+            .runtime(Runtime::Threads {
+                workers: 2,
+                affinity: Affinity::None,
+            })
+            .build(id)
+            .unwrap_or_else(|e| panic!("E19: {id} failed to deploy on threads: {e}"));
+        let rep = run_closed_loop(&mut rt, &spec)
+            .unwrap_or_else(|e| panic!("E19: {id} stalled on threads: {e}"));
+        assert_eq!(
+            rep.breakdown.completed, n_ops,
+            "E19: {id} must complete every op on threads"
+        );
+        assert_eq!(rep.breakdown.incomplete, 0);
+
+        table.row(vec![
+            id.name().into(),
+            sent.to_string(),
+            delivered.to_string(),
+            dropped.to_string(),
+            "balanced".into(),
+            "yes".into(),
+            rep.breakdown.completed.to_string(),
+        ]);
+    }
+
+    // Actor-pool counter sanity on a concrete (non-erased) deployment:
+    // the erased threads leg above cannot reach `rt_stats`, so one
+    // flagship run pins the mailbox accounting.
+    let cfg = ProtocolId::FastCrash.sample_config();
+    let mut c: ThreadCluster<FastCrash> = ThreadCluster::spawn(cfg, 19, RtConfig::new(2));
+    run_closed_loop(&mut c, &spec).expect("E19: flagship rt run completes");
+    let stats = c.rt_stats();
+    assert!(
+        stats.drained_messages > 0,
+        "E19: the actor pool must drain messages"
+    );
+    assert!(
+        stats.drained_batches <= stats.drained_messages,
+        "E19: batches cannot outnumber messages"
+    );
+    assert!(
+        (1..=stats.drained_messages).contains(&stats.max_batch),
+        "E19: max batch must be within [1, drained]"
+    );
+    table.row(vec![
+        "rt-counters".into(),
+        stats.drained_messages.to_string(),
+        stats.drained_batches.to_string(),
+        "0".into(),
+        format!("max_batch={}", stats.max_batch),
+        "-".into(),
+        "-".into(),
+    ]);
+    table
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1452,6 +1588,19 @@ mod tests {
         for id in experiment_protocols("e14") {
             assert!(s.contains(id.name()), "e14 must sweep {}", id.name());
         }
+    }
+
+    #[test]
+    fn e19_holds_invariants_for_every_protocol() {
+        let t = e19_obs_invariants(40);
+        // One row per registered protocol plus the rt-counters row.
+        assert_eq!(t.len(), ProtocolId::ALL.len() + 1);
+        let s = t.render();
+        for id in ProtocolId::ALL {
+            assert!(s.contains(id.name()), "e19 must cover {}", id.name());
+        }
+        assert!(s.contains("balanced"));
+        assert!(s.contains("rt-counters"));
     }
 
     #[test]

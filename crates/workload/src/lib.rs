@@ -24,6 +24,9 @@
 //! | E14 | closed-loop scale | [`experiments::e14_scale`] |
 //! | E15 | parallel schedule exploration | [`experiments::e15_exploration`] |
 //! | E16 | sharded KV store sweep | [`experiments::e16_store`] |
+//! | E17 | real-threads runtime throughput | [`experiments::e17_rt_throughput`] |
+//! | E18 | checker throughput & memory | [`experiments::e18_checker_throughput`] |
+//! | E19 | observability invariants | [`experiments::e19_obs_invariants`] |
 //!
 //! Each experiment returns a rendered table (and asserts its own internal
 //! expectations); the `report` binary in `fastreg-bench` prints them.
@@ -40,9 +43,11 @@ pub mod driver;
 pub mod experiments;
 pub mod kv;
 pub mod metrics;
+pub mod obsrun;
 pub mod table;
 
 pub use driver::{run_closed_loop, DriverError, WorkloadReport, WorkloadSpec};
 pub use kv::{run_kv_workload, KeyDist, KvReport, KvWorkloadSpec};
 pub use metrics::{LatencyStats, OpBreakdown};
+pub use obsrun::{trace_register_run, trace_store_run, ObsArtifacts};
 pub use table::Table;

@@ -1,47 +1,15 @@
 //! Metrics derived from operation histories and network statistics.
+//!
+//! The latency summary type itself lives in the observability spine —
+//! [`fastreg_obs::LatencyStats`] is the one implementation of the
+//! report tables' quantile math — and is re-exported here so every
+//! historical `fastreg_workload::LatencyStats` path keeps compiling.
+//! The tests below pin its outputs (p50/p95/mean on known inputs)
+//! unchanged across the migration.
 
 use fastreg_atomicity::history::{History, OpKind};
 
-/// Latency statistics over a set of operations, in ticks.
-#[derive(Clone, Debug, PartialEq)]
-pub struct LatencyStats {
-    /// Number of completed operations measured.
-    pub count: u64,
-    /// Arithmetic mean.
-    pub mean: f64,
-    /// Median (50th percentile).
-    pub p50: u64,
-    /// 95th percentile.
-    pub p95: u64,
-    /// Maximum.
-    pub max: u64,
-    /// Minimum.
-    pub min: u64,
-}
-
-impl LatencyStats {
-    /// Computes stats from raw latencies. Returns `None` for empty input.
-    pub fn from_latencies(mut lat: Vec<u64>) -> Option<Self> {
-        if lat.is_empty() {
-            return None;
-        }
-        lat.sort_unstable();
-        let count = lat.len() as u64;
-        let sum: u128 = lat.iter().map(|&l| l as u128).sum();
-        let pct = |p: f64| -> u64 {
-            let idx = ((lat.len() as f64 - 1.0) * p).floor() as usize;
-            lat[idx]
-        };
-        Some(LatencyStats {
-            count,
-            mean: sum as f64 / count as f64,
-            p50: pct(0.50),
-            p95: pct(0.95),
-            max: *lat.last().expect("nonempty"),
-            min: lat[0],
-        })
-    }
-}
+pub use fastreg_obs::LatencyStats;
 
 /// Per-kind latency breakdown of a history.
 #[derive(Clone, Debug)]

@@ -26,6 +26,8 @@
 //! * [`fastreg_adversary`] — the lower-bound proofs (§5, §6.2, §7) as code.
 //! * [`fastreg_workload`] — workload generators and the experiment harness.
 //! * [`fastreg_store`] — the sharded multi-register key–value store.
+//! * [`fastreg_obs`] — deterministic tracing + metrics spine (logical
+//!   clocks, span records, chrome-trace export, integer-only registry).
 
 #![warn(missing_docs)]
 
@@ -33,6 +35,7 @@ pub use fastreg;
 pub use fastreg_adversary;
 pub use fastreg_atomicity;
 pub use fastreg_auth;
+pub use fastreg_obs;
 pub use fastreg_rt;
 pub use fastreg_simnet;
 pub use fastreg_store;

@@ -1,0 +1,82 @@
+//! Property suite for the observability determinism contract.
+//!
+//! The `fastreg_obs` spine promises that on simnet, trace bytes and
+//! metrics snapshots are a pure function of the workload parameters:
+//! identical across two fresh deployments at the same seed, and — for
+//! the sharded store — identical across worker-pool sizes 1/2/4
+//! (threads are a tuning knob, never an observable). These properties
+//! pin that promise over randomized seeds, sizes and mixes, not just
+//! the fixed-seed examples in the crates' unit tests.
+
+use proptest::prelude::*;
+
+use fastreg_suite::fastreg::config::ClusterConfig;
+use fastreg_suite::fastreg::protocols::registry::ProtocolId;
+use fastreg_suite::fastreg_workload::kv::{KeyDist, KvWorkloadSpec};
+use fastreg_suite::fastreg_workload::{trace_register_run, trace_store_run, WorkloadSpec};
+
+const WRITE_FRACTIONS: [f64; 4] = [0.0, 0.25, 0.5, 1.0];
+const REGISTER_PROTOCOLS: [ProtocolId; 3] =
+    [ProtocolId::FastCrash, ProtocolId::Abd, ProtocolId::MaxMin];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A closed-loop register run replayed on a second fresh cluster
+    /// yields byte-identical artifacts.
+    #[test]
+    fn register_artifacts_replay_byte_identically(
+        seed in 0u64..1_000,
+        cluster_seed in 0u64..1_000,
+        n_ops in 10u64..50,
+        wf in 0usize..WRITE_FRACTIONS.len(),
+        proto in 0usize..REGISTER_PROTOCOLS.len(),
+    ) {
+        let protocol = REGISTER_PROTOCOLS[proto];
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("statically valid");
+        let spec = WorkloadSpec {
+            n_ops,
+            write_fraction: WRITE_FRACTIONS[wf],
+            think_time: 1,
+            seed,
+        };
+        let a = trace_register_run(protocol, cfg, cluster_seed, &spec).unwrap();
+        let b = trace_register_run(protocol, cfg, cluster_seed, &spec).unwrap();
+        prop_assert_eq!(a.chrome_trace(), b.chrome_trace());
+        prop_assert_eq!(a.metrics_json(), b.metrics_json());
+    }
+
+    /// A sharded-store run yields byte-identical artifacts across
+    /// worker counts 1/2/4 and across two fresh stores at the same
+    /// worker count.
+    #[test]
+    fn store_artifacts_are_worker_count_blind(
+        seed in 0u64..1_000,
+        n_ops in 20u64..80,
+        shards in 2u32..5,
+    ) {
+        let cfg = ClusterConfig::crash_stop(5, 1, 2).expect("statically valid");
+        let spec = KvWorkloadSpec {
+            n_ops,
+            n_keys: 32,
+            n_clients: 8,
+            put_fraction: 0.3,
+            dist: KeyDist::Uniform,
+            seed,
+        };
+        let run = |threads: usize| {
+            trace_store_run(ProtocolId::FastCrash, cfg, shards, seed, &spec, threads).unwrap()
+        };
+        let base = run(1);
+        let trace = base.chrome_trace();
+        let metrics = base.metrics_json();
+        for threads in [2usize, 4] {
+            let other = run(threads);
+            prop_assert_eq!(&trace, &other.chrome_trace(), "threads={}", threads);
+            prop_assert_eq!(&metrics, &other.metrics_json(), "threads={}", threads);
+        }
+        let fresh = run(1);
+        prop_assert_eq!(&trace, &fresh.chrome_trace());
+        prop_assert_eq!(&metrics, &fresh.metrics_json());
+    }
+}
